@@ -1,0 +1,151 @@
+// Command lrpsim regenerates the paper's tables and figures on the
+// simulated machine.
+//
+// Usage:
+//
+//	lrpsim -experiment fig5 [-threads 16] [-ops 100] [-scale 1.0] [-seed 7]
+//
+// Experiments: config (Table 1), fig5, fig6, fig7, fig8, size,
+// ablation-ret, ablation-readmix, all.
+//
+// A single workload can also be run directly:
+//
+//	lrpsim -run hashmap -mechanism LRP -threads 16 -size 16384 -ops 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lrp"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment to run: config|fig5|fig6|fig7|fig8|size|ablation-ret|ablation-readmix|all")
+		run        = flag.String("run", "", "run a single workload: linkedlist|hashmap|bstree|skiplist|queue")
+		mechanism  = flag.String("mechanism", "LRP", "mechanism for -run: NOP|SB|BB|ARP|LRP")
+		threads    = flag.Int("threads", 16, "worker threads")
+		ops        = flag.Int("ops", 100, "operations per thread in the measured window")
+		size       = flag.Int("size", 0, "initial structure size for -run (0 = experiment default)")
+		scale      = flag.Float64("scale", 1.0, "size scale factor for experiments")
+		seed       = flag.Uint64("seed", 7, "deterministic seed")
+		uncached   = flag.Bool("uncached", false, "disable the NVM-side DRAM cache for -run")
+	)
+	flag.Parse()
+
+	opts := lrp.ExperimentOpts{
+		Threads:   *threads,
+		Ops:       *ops,
+		SizeScale: *scale,
+		Seed:      *seed,
+	}
+
+	switch {
+	case *run != "":
+		if err := runOne(*run, *mechanism, *threads, *ops, *size, *seed, *uncached); err != nil {
+			fail(err)
+		}
+	case *experiment != "":
+		if err := runExperiment(*experiment, opts); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lrpsim:", err)
+	os.Exit(1)
+}
+
+func runExperiment(name string, opts lrp.ExperimentOpts) error {
+	type gen func(lrp.ExperimentOpts) (*lrp.Table, error)
+	table := func(g gen) error {
+		t, err := g(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Format())
+		return nil
+	}
+	switch name {
+	case "config":
+		fmt.Println(lrp.Table1().Format())
+		return nil
+	case "fig5":
+		return table(lrp.Fig5)
+	case "fig6":
+		return table(lrp.Fig6)
+	case "fig7":
+		return table(lrp.Fig7)
+	case "fig8":
+		return table(func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.Fig8(o) })
+	case "size":
+		return table(func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.SizeSensitivity(o) })
+	case "ablation-ret":
+		return table(func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.AblationRET(o) })
+	case "ablation-readmix":
+		return table(func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.AblationReadMix(o) })
+	case "all":
+		fmt.Println(lrp.Table1().Format())
+		for _, g := range []gen{
+			lrp.Fig5, lrp.Fig6, lrp.Fig7,
+			func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.Fig8(o) },
+			func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.SizeSensitivity(o) },
+			func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.AblationRET(o) },
+			func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.AblationReadMix(o) },
+		} {
+			if err := table(g); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+func runOne(structure, mechName string, threads, ops, size int, seed uint64, uncached bool) error {
+	k, err := lrp.ParseMechanism(mechName)
+	if err != nil {
+		return err
+	}
+	cfg := lrp.DefaultConfig().WithMechanism(k)
+	cfg.Cores = threads
+	if cfg.Cores < 16 {
+		cfg.Cores = 16
+	}
+	if uncached {
+		cfg.NVM.Mode = 1
+	}
+	if size == 0 {
+		size = 4096
+	}
+	res, _, err := lrp.RunWorkload(cfg, lrp.Spec{
+		Structure:    structure,
+		Threads:      threads,
+		InitialSize:  size,
+		OpsPerThread: ops,
+		Seed:         seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload        %s\n", structure)
+	fmt.Printf("mechanism       %s\n", k)
+	fmt.Printf("threads         %d\n", threads)
+	fmt.Printf("size            %d\n", size)
+	fmt.Printf("exec time       %v\n", res.ExecTime)
+	fmt.Printf("operations      %d (%.1f cycles/op)\n", res.Ops, float64(res.ExecTime)*float64(threads)/float64(res.Ops))
+	fmt.Printf("memory ops      %d\n", res.Sys.Ops)
+	fmt.Printf("persists        %d (%.1f%% on the critical path)\n", res.Sys.Persists, res.CriticalWritebackPct())
+	fmt.Printf("writebacks      %d\n", res.Sys.Writebacks)
+	fmt.Printf("downgrades      %d (I2 blocks: %d)\n", res.Sys.Downgrades, res.Sys.I2Stalls)
+	fmt.Printf("stall cycles    %d\n", res.Sys.StallCycles)
+	fmt.Printf("NVM traffic     %d bytes persisted, %d line reads\n", res.NVM.BytesPersisted, res.NVM.Reads)
+	return nil
+}

@@ -1,0 +1,150 @@
+package lrp
+
+import (
+	"testing"
+)
+
+// TestCrashFuzzRPMechanisms is the repository's strongest end-to-end
+// property: for every log-free structure, under every RP-enforcing
+// mechanism, at hundreds of sampled crash instants, the durable image is
+// a consistent cut AND the structural recovery walker succeeds on it.
+// This is the paper's correctness claim executed literally.
+func TestCrashFuzzRPMechanisms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash fuzzing is expensive; skipped with -short")
+	}
+	const samples = 150
+	for _, structure := range Structures {
+		for _, mech := range []Mechanism{SB, BB, LRP} {
+			structure, mech := structure, mech
+			t.Run(structure+"/"+mech.String(), func(t *testing.T) {
+				cfg := DefaultConfig().WithMechanism(mech)
+				cfg.Cores = 4
+				cfg.TrackHB = true
+				_, m, err := RunWorkload(cfg, Spec{
+					Structure:    structure,
+					Threads:      4,
+					InitialSize:  96,
+					OpsPerThread: 60,
+					Seed:         31,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rpBad, arpBad, first, err := FuzzCrashes(m, samples, 17)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rpBad != 0 || arpBad != 0 {
+					t.Fatalf("%d RP / %d ARP violations; first: %+v", rpBad, arpBad, first.RPViolations[0])
+				}
+			})
+		}
+	}
+}
+
+// TestCrashFuzzRecoveryWalks verifies null recovery structurally: at
+// sampled crash instants under LRP, the per-structure walkers accept the
+// durable image (no garbage nodes, no broken invariants).
+func TestCrashFuzzRecoveryWalks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash fuzzing is expensive; skipped with -short")
+	}
+	cfg := DefaultConfig().WithMechanism(LRP)
+	cfg.Cores = 4
+	cfg.TrackHB = true
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := NewLinkedList(m)
+	h := NewHashMap(m, 16)
+	b := NewBST(m)
+	sl := NewSkipList(m)
+	q := NewQueue(m)
+	m.RunOne(func(c *Ctx) { b.Init(c); q.Init(c) })
+	progs := make([]Program, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		progs[i] = func(c *Ctx) {
+			r := c.Rand()
+			for n := 0; n < 50; n++ {
+				key := uint64(r.Intn(64)) + 1
+				switch n % 5 {
+				case 0:
+					list.Insert(c, key, DefaultVal(key))
+				case 1:
+					h.Insert(c, key, DefaultVal(key))
+				case 2:
+					b.Insert(c, key, DefaultVal(key))
+				case 3:
+					sl.Insert(c, key, DefaultVal(key))
+				case 4:
+					q.Enqueue(c, uint64(i+1)<<32|uint64(n+1))
+					if r.Bool() {
+						list.Delete(c, key)
+						q.Dequeue(c)
+					}
+				}
+			}
+		}
+	}
+	m.Run(progs)
+	end := m.Time()
+	for i := Time(1); i <= 40; i++ {
+		crash := end * i / 40
+		rep, err := Crash(m, crash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.ConsistentCut() {
+			t.Fatalf("crash@%v: inconsistent cut: %v", crash, rep.RPViolations[0])
+		}
+		if _, err := RecoverList(rep.Image, list); err != nil {
+			t.Fatalf("crash@%v: list: %v", crash, err)
+		}
+		if _, err := RecoverHashMap(rep.Image, h); err != nil {
+			t.Fatalf("crash@%v: hashmap: %v", crash, err)
+		}
+		if _, err := RecoverBST(rep.Image, b); err != nil {
+			t.Fatalf("crash@%v: bst: %v", crash, err)
+		}
+		if _, err := RecoverSkipList(rep.Image, sl); err != nil {
+			t.Fatalf("crash@%v: skiplist: %v", crash, err)
+		}
+		if _, err := RecoverQueue(rep.Image, q); err != nil {
+			t.Fatalf("crash@%v: queue: %v", crash, err)
+		}
+	}
+}
+
+// TestCrashFuzzUncachedMode repeats the cut check in the uncached NVM
+// mode: slower persists widen every window, so ordering bugs that hide
+// behind the DRAM cache surface here.
+func TestCrashFuzzUncachedMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash fuzzing is expensive; skipped with -short")
+	}
+	for _, mech := range []Mechanism{BB, LRP} {
+		mech := mech
+		t.Run(mech.String(), func(t *testing.T) {
+			cfg := DefaultConfig().WithMechanism(mech)
+			cfg.Cores = 4
+			cfg.NVM.Mode = 1 // uncached
+			cfg.TrackHB = true
+			_, m, err := RunWorkload(cfg, Spec{
+				Structure: "queue", Threads: 4, InitialSize: 64, OpsPerThread: 60, Seed: 5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rpBad, _, first, err := FuzzCrashes(m, 200, 23)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rpBad != 0 {
+				t.Fatalf("%d violations; first: %+v", rpBad, first.RPViolations[0])
+			}
+		})
+	}
+}

@@ -1,0 +1,55 @@
+// Comparison: a durable producer/consumer pipeline on the Michael–Scott
+// queue, across all five persistency mechanisms.
+//
+// The queue is the paper's most contended workload: every enqueue
+// release-CASes the shared tail. This example reports, for each
+// mechanism, the pipeline's execution time, how much NVM traffic it
+// generated, how much of it sat on the critical path — and whether a
+// mid-run crash would have been recoverable.
+package main
+
+import (
+	"fmt"
+
+	"lrp"
+)
+
+func main() {
+	fmt.Println("durable producer/consumer pipeline (MS queue, 4 producers + 4 consumers)")
+	fmt.Println()
+	fmt.Printf("%-5s %12s %10s %14s %12s %s\n",
+		"mech", "exec time", "persists", "critical-path", "crash-safe?", "notes")
+
+	for _, mech := range lrp.Mechanisms {
+		cfg := lrp.DefaultConfig().WithMechanism(mech)
+		cfg.Cores = 8
+		cfg.TrackHB = true
+		res, m, err := lrp.RunWorkload(cfg, lrp.Spec{
+			Structure:    "queue",
+			Threads:      8,
+			InitialSize:  512,
+			OpsPerThread: 80,
+			Seed:         9,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rpBad, _, _, err := lrp.FuzzCrashes(m, 300, 21)
+		if err != nil {
+			panic(err)
+		}
+		safe := "yes"
+		note := ""
+		if rpBad > 0 {
+			safe = "NO"
+			note = fmt.Sprintf("%d/300 crash points unrecoverable", rpBad)
+		} else if !mech.EnforcesRP() {
+			note = "(no violation sampled, but no guarantee either)"
+		}
+		fmt.Printf("%-5s %12v %10d %13.1f%% %12s %s\n",
+			mech, res.ExecTime, res.Sys.Persists, res.CriticalWritebackPct(), safe, note)
+	}
+	fmt.Println()
+	fmt.Println("SB/BB/LRP all guarantee recovery; LRP gets it at the smallest cost.")
+	fmt.Println("ARP is cheap but its one-sided rule is too weak for null recovery (§3).")
+}

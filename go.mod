@@ -1,0 +1,3 @@
+module lrp
+
+go 1.22

@@ -1,0 +1,111 @@
+package cache
+
+import (
+	"fmt"
+
+	"lrp/internal/isa"
+)
+
+// NoOwner marks a directory entry with no Modified/Exclusive holder.
+const NoOwner = -1
+
+// DirEntry is a full-map directory entry: which core (if any) holds the
+// line exclusively and which cores share it. The simulated machine has at
+// most 64 cores so the sharer set is a single word.
+type DirEntry struct {
+	Owner   int
+	Sharers uint64
+}
+
+// HasSharers reports whether any core holds a Shared copy.
+func (e *DirEntry) HasSharers() bool { return e.Sharers != 0 }
+
+// SharerList expands the bitmap into core ids.
+func (e *DirEntry) SharerList() []int {
+	var out []int
+	for i := 0; i < 64; i++ {
+		if e.Sharers&(1<<uint(i)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Directory is the full-map coherence directory co-located with the LLC
+// banks. Entries materialize on first touch.
+type Directory struct {
+	entries map[isa.Addr]*DirEntry
+	cores   int
+}
+
+// NewDirectory creates a directory for the given core count (≤64).
+func NewDirectory(cores int) *Directory {
+	if cores <= 0 || cores > 64 {
+		panic(fmt.Sprintf("cache: directory supports 1..64 cores, got %d", cores))
+	}
+	return &Directory{entries: make(map[isa.Addr]*DirEntry), cores: cores}
+}
+
+// Entry returns the entry for a line, creating an empty one on demand.
+func (d *Directory) Entry(line isa.Addr) *DirEntry {
+	e := d.entries[line]
+	if e == nil {
+		e = &DirEntry{Owner: NoOwner}
+		d.entries[line] = e
+	}
+	return e
+}
+
+// Peek returns the entry if it exists, without creating it.
+func (d *Directory) Peek(line isa.Addr) *DirEntry { return d.entries[line] }
+
+// SetOwner records core as the exclusive owner, clearing all sharers.
+func (d *Directory) SetOwner(line isa.Addr, core int) {
+	d.check(core)
+	e := d.Entry(line)
+	e.Owner = core
+	e.Sharers = 0
+}
+
+// AddSharer records core as holding a Shared copy.
+func (d *Directory) AddSharer(line isa.Addr, core int) {
+	d.check(core)
+	e := d.Entry(line)
+	e.Sharers |= 1 << uint(core)
+}
+
+// ClearOwner demotes the owner (downgrade to Shared keeps it as sharer).
+func (d *Directory) ClearOwner(line isa.Addr, keepAsSharer bool) {
+	e := d.Entry(line)
+	if e.Owner != NoOwner && keepAsSharer {
+		e.Sharers |= 1 << uint(e.Owner)
+	}
+	e.Owner = NoOwner
+}
+
+// RemoveSharer drops core from the sharer set.
+func (d *Directory) RemoveSharer(line isa.Addr, core int) {
+	d.check(core)
+	if e := d.entries[line]; e != nil {
+		e.Sharers &^= 1 << uint(core)
+	}
+}
+
+// DropCore removes any record of core holding the line (eviction).
+func (d *Directory) DropCore(line isa.Addr, core int) {
+	d.check(core)
+	e := d.entries[line]
+	if e == nil {
+		return
+	}
+	if e.Owner == core {
+		e.Owner = NoOwner
+	}
+	e.Sharers &^= 1 << uint(core)
+}
+
+func (d *Directory) check(core int) {
+	if core < 0 || core >= d.cores {
+		panic(fmt.Sprintf("cache: core %d out of range [0,%d)", core, d.cores))
+	}
+}

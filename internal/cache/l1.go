@@ -1,0 +1,156 @@
+package cache
+
+import (
+	"fmt"
+
+	"lrp/internal/isa"
+)
+
+// L1Stats counts L1 events.
+type L1Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	// DirtyEvictions counts evictions of Modified lines.
+	DirtyEvictions uint64
+}
+
+// L1 is one core's private set-associative cache.
+type L1 struct {
+	sets    [][]Line
+	setMask uint64
+	ways    int
+	tick    uint64
+	stats   L1Stats
+}
+
+// NewL1 builds a cache of the given total size in bytes with the given
+// associativity. Size must be a power-of-two multiple of ways*LineSize.
+func NewL1(sizeBytes, ways int) *L1 {
+	if sizeBytes <= 0 || ways <= 0 {
+		panic("cache: bad L1 geometry")
+	}
+	lines := sizeBytes / isa.LineSize
+	nsets := lines / ways
+	if nsets == 0 || nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache: L1 set count %d not a power of two", nsets))
+	}
+	c := &L1{
+		sets:    make([][]Line, nsets),
+		setMask: uint64(nsets - 1),
+		ways:    ways,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]Line, ways)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *L1) Sets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *L1) Ways() int { return c.ways }
+
+// Stats returns a copy of the event counters.
+func (c *L1) Stats() L1Stats { return c.stats }
+
+func (c *L1) set(line isa.Addr) []Line {
+	return c.sets[(uint64(line)>>isa.LineShift)&c.setMask]
+}
+
+// Lookup returns the line holding the given line address, or nil.
+// It does not touch LRU state or counters; use Access for demand hits.
+func (c *L1) Lookup(line isa.Addr) *Line {
+	set := c.set(line)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Access looks up a line for a demand access, updating LRU and hit/miss
+// counters. It returns nil on a miss.
+func (c *L1) Access(line isa.Addr) *Line {
+	l := c.Lookup(line)
+	if l == nil {
+		c.stats.Misses++
+		return nil
+	}
+	c.stats.Hits++
+	c.tick++
+	l.lru = c.tick
+	return l
+}
+
+// Victim returns the line that would be evicted to make room for a fill
+// of the given address: an Invalid way if one exists, else the LRU way.
+// It never returns nil. The caller inspects the victim (writeback,
+// persist) and then calls Fill.
+func (c *L1) Victim(line isa.Addr) *Line {
+	set := c.set(line)
+	var victim *Line
+	for i := range set {
+		if set[i].State == Invalid {
+			return &set[i]
+		}
+		if victim == nil || set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	return victim
+}
+
+// Fill installs a new line into the given way slot (as returned by
+// Victim), recording an eviction if the slot held a valid line. All
+// persistency metadata starts clean; the caller sets coherence state.
+func (c *L1) Fill(slot *Line, line isa.Addr, st State) {
+	if slot.State != Invalid {
+		c.stats.Evictions++
+		if slot.State == Modified {
+			c.stats.DirtyEvictions++
+		}
+	}
+	c.tick++
+	*slot = Line{Addr: line, State: st, lru: c.tick}
+}
+
+// Invalidate drops the line if present, returning its prior contents for
+// the caller to act on (writeback of Modified data, persist decisions).
+func (c *L1) Invalidate(line isa.Addr) (Line, bool) {
+	l := c.Lookup(line)
+	if l == nil {
+		return Line{}, false
+	}
+	old := *l
+	// The copy above shares the Stamps backing array; hand it off and
+	// detach the slot's reference so reuse cannot alias.
+	*l = Line{}
+	return old, true
+}
+
+// Scan calls f on every valid line. The persist engine uses this to
+// discover lines with older epochs (the paper's L1 scan).
+func (c *L1) Scan(f func(*Line)) {
+	for si := range c.sets {
+		set := c.sets[si]
+		for i := range set {
+			if set[i].State != Invalid {
+				f(&set[i])
+			}
+		}
+	}
+}
+
+// CountDirty reports how many lines currently hold unpersisted writes.
+func (c *L1) CountDirty() int {
+	n := 0
+	c.Scan(func(l *Line) {
+		if l.NeedsPersist() {
+			n++
+		}
+	})
+	return n
+}

@@ -1,0 +1,116 @@
+// Package cache models the on-chip memory hierarchy structures of the
+// simulated machine: per-core set-associative L1 caches carrying MESI
+// coherence state plus the LRP/BB persistency metadata (min-epoch,
+// release bit, epoch tags, pending write stamps), a banked shared LLC,
+// and a full-map directory.
+//
+// The package is purely structural: it answers "what is cached where, and
+// what gets evicted" and keeps metadata. Protocol orchestration, timing
+// and persist decisions live in package memsys, which makes each layer
+// independently testable.
+//
+// Simulated data values do not live in cache lines. Because the simulator
+// serializes memory operations in global virtual-time order, visibility
+// is immediate through the architectural memory image (package mm); the
+// caches exist to model timing and to decide when writes persist.
+package cache
+
+import (
+	"lrp/internal/isa"
+	"lrp/internal/model"
+)
+
+// State is a MESI coherence state.
+type State uint8
+
+const (
+	// Invalid: the line is not present.
+	Invalid State = iota
+	// Shared: clean, possibly cached by others.
+	Shared
+	// Exclusive: clean, cached only here.
+	Exclusive
+	// Modified: dirty, cached only here.
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// Line is one L1 cache line's metadata.
+type Line struct {
+	// Addr is the line base address (only meaningful when State != Invalid).
+	Addr isa.Addr
+	// State is the MESI coherence state.
+	State State
+
+	// MinEpoch is the epoch of the earliest not-yet-persisted write in
+	// the line (LRP §5.2.1), valid while the line is not clean.
+	MinEpoch uint32
+	// Release marks a line holding a value written by a release whose
+	// persist is still outstanding (the paper's release-bit).
+	Release bool
+	// Epoch is the epoch tag used by the BB/SB buffered-barrier schemes
+	// (epoch of the most recent write in the line).
+	Epoch uint32
+
+	// Pending marks a line holding writes that have not yet been handed
+	// to the NVM subsystem. (Stamps carries the same information when
+	// happens-before tracking is on, but timing-only runs leave Stamps
+	// empty, so persistency decisions key off this bit.)
+	Pending bool
+	// FlushedUntil is the ack time of an in-flight proactive flush of
+	// this line (BB's buffered barrier); zero when none is in flight. A
+	// conflicting access must wait until this time before reusing the
+	// line with a newer epoch.
+	FlushedUntil int64
+
+	// Stamps are the happens-before stamps of writes coalesced into this
+	// line that have not yet persisted. Persisting the line hands these
+	// to the model's persist log and clears them.
+	Stamps []model.Stamp
+
+	lru uint64
+}
+
+// NeedsPersist reports whether the line holds writes not yet persisted.
+func (l *Line) NeedsPersist() bool { return l.Pending }
+
+// OnlyWritten reports the paper's "only-written" classification: dirty
+// with unpersisted plain writes and no unpersisted release.
+func (l *Line) OnlyWritten() bool { return l.NeedsPersist() && !l.Release }
+
+// Released reports the paper's "released" classification: the line holds
+// a not-yet-persisted release.
+func (l *Line) Released() bool { return l.NeedsPersist() && l.Release }
+
+// ClearPersistMeta resets the persistency metadata after the line's
+// content has been persisted. Coherence state is untouched: a persisted
+// line can remain Modified (the LLC copy is still stale).
+func (l *Line) ClearPersistMeta() {
+	l.Stamps = l.Stamps[:0]
+	l.Pending = false
+	l.Release = false
+	l.MinEpoch = 0
+	l.Epoch = 0
+}
+
+// TakeStamps detaches and returns the line's pending stamps (for handing
+// to the NVM persist log or migrating to the LLC under NOP).
+func (l *Line) TakeStamps() []model.Stamp {
+	s := l.Stamps
+	l.Stamps = nil
+	return s
+}

@@ -1,0 +1,90 @@
+package engine
+
+import "container/heap"
+
+// CompletionSet tracks the completion times of in-flight asynchronous
+// operations (outstanding persists, pending write-backs). It answers the
+// two questions the LRP persist engine needs: "how many operations are
+// still pending at time t?" (the pending-persists counter) and "when will
+// everything currently in flight have completed?" (the time a full drain
+// must wait for).
+type CompletionSet struct {
+	h timeHeap
+}
+
+type timeHeap []Time
+
+func (h timeHeap) Len() int            { return len(h) }
+func (h timeHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h timeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timeHeap) Push(x interface{}) { *h = append(*h, x.(Time)) }
+func (h *timeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Add records an operation that completes at time t.
+func (c *CompletionSet) Add(t Time) { heap.Push(&c.h, t) }
+
+// DrainUpTo discards completions at or before now and returns how many
+// were discarded. Callers use the count to decrement pending counters.
+func (c *CompletionSet) DrainUpTo(now Time) int {
+	n := 0
+	for len(c.h) > 0 && c.h[0] <= now {
+		heap.Pop(&c.h)
+		n++
+	}
+	return n
+}
+
+// PendingAt reports how many operations are still incomplete at time now,
+// without discarding anything.
+func (c *CompletionSet) PendingAt(now Time) int {
+	n := 0
+	for _, t := range c.h {
+		if t > now {
+			n++
+		}
+	}
+	return n
+}
+
+// Len reports the number of tracked operations (complete or not).
+func (c *CompletionSet) Len() int { return len(c.h) }
+
+// MaxTime returns the latest completion time tracked, or now if none are
+// later than now. Waiting for a full drain means advancing the clock to
+// this value.
+func (c *CompletionSet) MaxTime(now Time) Time {
+	max := now
+	for _, t := range c.h {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// ReleaseSlots returns the earliest time at which at most maxOutstanding
+// tracked operations remain incomplete, discarding the completions that
+// retire on the way. It models backpressure on a bounded queue of
+// in-flight operations: a caller that needs a free slot at time now must
+// wait until the returned time.
+func (c *CompletionSet) ReleaseSlots(now Time, maxOutstanding int) Time {
+	c.DrainUpTo(now)
+	t := now
+	for len(c.h) > maxOutstanding {
+		t = c.h[0]
+		heap.Pop(&c.h)
+	}
+	if t < now {
+		t = now
+	}
+	return t
+}
+
+// Clear discards all tracked completions.
+func (c *CompletionSet) Clear() { c.h = c.h[:0] }

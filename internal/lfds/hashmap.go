@@ -1,0 +1,71 @@
+package lfds
+
+import (
+	"lrp/internal/isa"
+	"lrp/internal/memsys"
+)
+
+// HashMap is Michael's lock-free hash table (SPAA'02): a fixed array of
+// buckets, each an independent lock-free sorted list. The bucket array
+// lives in the static region; it is written once at construction and
+// never resized, so only the per-bucket lists carry persistency traffic.
+// Bucket head cells are padded to one cache line each so that operations
+// on different buckets never contend on a line — the standard layout for
+// concurrent hash tables, and essential here because every insert/delete
+// release-CASes its bucket's head cell.
+type HashMap struct {
+	buckets  isa.Addr
+	nbuckets uint64
+}
+
+// BucketStride is the byte distance between consecutive bucket cells.
+const BucketStride = isa.LineSize
+
+// NewHashMap builds a table with nbuckets buckets (rounded up to a power
+// of two, minimum 1).
+func NewHashMap(sys *memsys.System, nbuckets int) *HashMap {
+	n := uint64(1)
+	for n < uint64(nbuckets) {
+		n <<= 1
+	}
+	return &HashMap{
+		buckets:  sys.StaticAlloc(int(n) * isa.WordsPerLine),
+		nbuckets: n,
+	}
+}
+
+// hash spreads keys over buckets (Fibonacci hashing; deterministic).
+func (h *HashMap) hash(key uint64) uint64 {
+	return (key * 0x9e3779b97f4a7c15) >> 1 % h.nbuckets
+}
+
+func (h *HashMap) bucket(key uint64) sortedList {
+	return sortedList{head: h.buckets + isa.Addr(h.hash(key)*BucketStride)}
+}
+
+// Name implements Set.
+func (h *HashMap) Name() string { return "hashmap" }
+
+// Insert implements Set.
+func (h *HashMap) Insert(c *memsys.Ctx, key, val uint64) bool {
+	b := h.bucket(key)
+	return b.insert(c, key, val)
+}
+
+// Delete implements Set.
+func (h *HashMap) Delete(c *memsys.Ctx, key uint64) bool {
+	b := h.bucket(key)
+	return b.delete(c, key)
+}
+
+// Contains implements Set.
+func (h *HashMap) Contains(c *memsys.Ctx, key uint64) bool {
+	b := h.bucket(key)
+	return b.contains(c, key)
+}
+
+// Buckets exposes the bucket array base and count for recovery.
+func (h *HashMap) Buckets() (isa.Addr, uint64) { return h.buckets, h.nbuckets }
+
+// BucketOf exposes the bucket index a key hashes to (recovery checking).
+func (h *HashMap) BucketOf(key uint64) uint64 { return h.hash(key) }

@@ -1,0 +1,138 @@
+package lfds
+
+import (
+	"lrp/internal/isa"
+	"lrp/internal/memsys"
+)
+
+// List node layout (words): 0 = key, 1 = val, 2 = next (low bit = mark).
+const (
+	nodeKey  = 0
+	nodeVal  = 8
+	nodeNext = 16
+	nodeSize = 3
+)
+
+// sortedList is Harris's lock-free sorted linked list over one head cell:
+// a single simulated memory word holding the pointer to the first node.
+// The linked list *and* each hash-map bucket are instances of it.
+type sortedList struct {
+	head isa.Addr
+}
+
+// search locates the insertion point for key: predCell is the address of
+// the pointer word to update (the head cell or a node's next field), and
+// curr is the first unmarked node with node.key >= key (0 at the end).
+// Marked nodes found on the way are unlinked (Harris's helping), each
+// unlink being a release CAS.
+func (l *sortedList) search(c *memsys.Ctx, key uint64) (predCell isa.Addr, curr uint64) {
+retry:
+	for {
+		predCell = l.head
+		curr = c.LoadAcq(predCell)
+		for curr != 0 {
+			next := c.LoadAcq(addr(curr) + nodeNext)
+			if isMarked(next) {
+				// curr is logically deleted: help unlink it.
+				if _, ok := c.CAS(predCell, curr, clearPtr(next), isa.Release); !ok {
+					continue retry
+				}
+				curr = clearPtr(next)
+				continue
+			}
+			k := c.Load(addr(curr) + nodeKey)
+			if k >= key {
+				return predCell, curr
+			}
+			predCell = addr(curr) + nodeNext
+			curr = next
+		}
+		return predCell, 0
+	}
+}
+
+// insert adds key→val; false if present.
+func (l *sortedList) insert(c *memsys.Ctx, key, val uint64) bool {
+	for {
+		predCell, curr := l.search(c, key)
+		if curr != 0 && c.Load(addr(curr)+nodeKey) == key {
+			return false
+		}
+		// Prepare the node privately (plain stores), then publish it
+		// with a single release CAS — the paper's Figure 1 pattern.
+		n := c.Alloc(nodeSize)
+		c.Store(n+nodeKey, key)
+		c.Store(n+nodeVal, val)
+		c.Store(n+nodeNext, curr)
+		if _, ok := c.CAS(predCell, curr, uint64(n), isa.Release); ok {
+			return true
+		}
+	}
+}
+
+// delete removes key; false if absent.
+func (l *sortedList) delete(c *memsys.Ctx, key uint64) bool {
+	for {
+		predCell, curr := l.search(c, key)
+		if curr == 0 || c.Load(addr(curr)+nodeKey) != key {
+			return false
+		}
+		next := c.LoadAcq(addr(curr) + nodeNext)
+		if isMarked(next) {
+			continue // someone else is deleting it; re-search helps
+		}
+		// Logical deletion: mark the node's next pointer (release — this
+		// is the linearization point and must persist after the writes
+		// that made the node).
+		if _, ok := c.CAS(addr(curr)+nodeNext, next, withMark(next), isa.Release); !ok {
+			continue
+		}
+		// Physical deletion: best effort; a failed unlink is completed
+		// by a later search.
+		c.CAS(predCell, curr, clearPtr(next), isa.Release)
+		return true
+	}
+}
+
+// contains reports membership without writing.
+func (l *sortedList) contains(c *memsys.Ctx, key uint64) bool {
+	curr := c.LoadAcq(l.head)
+	for curr != 0 {
+		k := c.Load(addr(curr) + nodeKey)
+		next := c.LoadAcq(addr(curr) + nodeNext)
+		if k == key {
+			return !isMarked(next)
+		}
+		if k > key {
+			return false
+		}
+		curr = clearPtr(next)
+	}
+	return false
+}
+
+// LinkedList is the paper's "linkedlist" workload: one sorted lock-free
+// list (Harris, DISC'01).
+type LinkedList struct {
+	list sortedList
+}
+
+// NewLinkedList anchors a list; the head cell lives in the static region.
+func NewLinkedList(sys *memsys.System) *LinkedList {
+	return &LinkedList{list: sortedList{head: sys.StaticAlloc(1)}}
+}
+
+// Name implements Set.
+func (l *LinkedList) Name() string { return "linkedlist" }
+
+// Insert implements Set.
+func (l *LinkedList) Insert(c *memsys.Ctx, key, val uint64) bool { return l.list.insert(c, key, val) }
+
+// Delete implements Set.
+func (l *LinkedList) Delete(c *memsys.Ctx, key uint64) bool { return l.list.delete(c, key) }
+
+// Contains implements Set.
+func (l *LinkedList) Contains(c *memsys.Ctx, key uint64) bool { return l.list.contains(c, key) }
+
+// Head exposes the head cell address for the recovery walker.
+func (l *LinkedList) Head() isa.Addr { return l.list.head }

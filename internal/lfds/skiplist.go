@@ -1,0 +1,220 @@
+package lfds
+
+import (
+	"lrp/internal/isa"
+	"lrp/internal/memsys"
+)
+
+// MaxHeight is the skip list's tallest tower.
+const MaxHeight = 16
+
+// Skip-list node layout (words): 0 = key, 1 = val, 2 = height,
+// 3..3+height-1 = per-level next pointers (low bit = mark).
+const (
+	slKey    = 0
+	slVal    = 8
+	slHeight = 16
+	slNext0  = 24
+)
+
+func slNext(level int) isa.Addr { return isa.Addr(slNext0 + 8*level) }
+
+// SkipList is a lock-free skip list (Herlihy & Shavit's LockFreeSkipList,
+// itself derived from Fraser): membership is decided by the bottom-level
+// list; upper levels are an index maintained best-effort. Deletion marks
+// a node's next pointers from the top level down; the bottom-level mark
+// is the linearization point and carries release semantics.
+type SkipList struct {
+	// head is the head tower: MaxHeight pointer cells in static memory.
+	head isa.Addr
+}
+
+// NewSkipList anchors an empty skip list.
+func NewSkipList(sys *memsys.System) *SkipList {
+	return &SkipList{head: sys.StaticAlloc(MaxHeight)}
+}
+
+// Name implements Set.
+func (s *SkipList) Name() string { return "skiplist" }
+
+func (s *SkipList) headCell(level int) isa.Addr { return s.head + isa.Addr(8*level) }
+
+// find locates key on every level: preds[i] is the pointer-cell address
+// to update at level i, succs[i] the (clean) successor. Marked nodes are
+// unlinked on the way. found reports a bottom-level unmarked match.
+func (s *SkipList) find(c *memsys.Ctx, key uint64) (preds [MaxHeight]isa.Addr, succs [MaxHeight]uint64, found bool) {
+retry:
+	for {
+		predCell := s.headCell(MaxHeight - 1)
+		for level := MaxHeight - 1; level >= 0; level-- {
+			if level != MaxHeight-1 {
+				predCell -= 8 // drop one level within the same tower
+			}
+			curr := clearPtr(loadLevel(c, predCell, level))
+			for curr != 0 {
+				next := loadLevel(c, addr(curr)+slNext(level), level)
+				for isMarked(next) {
+					// Help unlink the deleted node at this level.
+					if _, ok := c.CAS(predCell, curr, clearPtr(next), casOrder(level)); !ok {
+						continue retry
+					}
+					curr = clearPtr(next)
+					if curr == 0 {
+						break
+					}
+					next = loadLevel(c, addr(curr)+slNext(level), level)
+				}
+				if curr == 0 {
+					break
+				}
+				if c.Load(addr(curr)+slKey) >= key {
+					break
+				}
+				predCell = addr(curr) + slNext(level)
+				curr = clearPtr(next)
+			}
+			preds[level] = predCell
+			succs[level] = curr
+		}
+		bottom := succs[0]
+		found = bottom != 0 && c.Load(addr(bottom)+slKey) == key
+		return preds, succs, found
+	}
+}
+
+// loadLevel reads a next-pointer cell: acquire on the bottom level
+// (synchronizing with the releases that define membership), plain on the
+// index levels (volatile bookkeeping, rebuilt on recovery if needed).
+func loadLevel(c *memsys.Ctx, cell isa.Addr, level int) uint64 {
+	if level == 0 {
+		return c.LoadAcq(cell)
+	}
+	return c.Load(cell)
+}
+
+// casOrder gives link/unlink CASes release semantics only on the bottom
+// level.
+func casOrder(level int) isa.Ordering {
+	if level == 0 {
+		return isa.Release
+	}
+	return isa.Plain
+}
+
+// randomHeight draws a geometric height in [1, MaxHeight].
+func randomHeight(c *memsys.Ctx) int {
+	h := 1
+	for h < MaxHeight && c.Rand().Bool() {
+		h++
+	}
+	return h
+}
+
+// Insert implements Set.
+func (s *SkipList) Insert(c *memsys.Ctx, key, val uint64) bool {
+	for {
+		preds, succs, found := s.find(c, key)
+		if found {
+			return false
+		}
+		h := randomHeight(c)
+		n := c.Alloc(slNext0/8 + h)
+		c.Store(n+slKey, key)
+		c.Store(n+slVal, val)
+		c.Store(n+slHeight, uint64(h))
+		for i := 0; i < h; i++ {
+			c.Store(n+slNext(i), succs[i])
+		}
+		// Publish at the bottom level: the linearization point, and the
+		// one-sided persist barrier that orders the node's fields first.
+		if _, ok := c.CAS(preds[0], succs[0], uint64(n), isa.Release); !ok {
+			continue
+		}
+		// Link the index levels best-effort (plain CASes: the index is
+		// volatile bookkeeping; membership and recovery are defined by
+		// the bottom level alone, so the index carries no persist
+		// ordering).
+		for i := 1; i < h; i++ {
+			for {
+				if isMarked(c.Load(n + slNext(i))) {
+					return true // concurrently deleted; stop indexing
+				}
+				if _, ok := c.CAS(preds[i], succs[i], uint64(n), isa.Plain); ok {
+					break
+				}
+				var nf bool
+				preds, succs, nf = s.find(c, key)
+				if !nf {
+					return true // deleted while indexing
+				}
+				c.Store(n+slNext(i), succs[i])
+			}
+		}
+		return true
+	}
+}
+
+// Delete implements Set.
+func (s *SkipList) Delete(c *memsys.Ctx, key uint64) bool {
+	for {
+		_, succs, found := s.find(c, key)
+		if !found {
+			return false
+		}
+		n := succs[0]
+		h := int(c.Load(addr(n) + slHeight))
+		// Mark the index levels top-down (plain CASes: the index is
+		// volatile bookkeeping; membership changes only at level 0).
+		for i := h - 1; i >= 1; i-- {
+			for {
+				next := c.Load(addr(n) + slNext(i))
+				if isMarked(next) {
+					break
+				}
+				if _, ok := c.CAS(addr(n)+slNext(i), next, withMark(next), isa.Plain); ok {
+					break
+				}
+			}
+		}
+		// Bottom level: the linearization point.
+		for {
+			next := c.LoadAcq(addr(n) + slNext(0))
+			if isMarked(next) {
+				return false // someone else deleted it first
+			}
+			if _, ok := c.CAS(addr(n)+slNext(0), next, withMark(next), isa.Release); ok {
+				s.find(c, key) // physical unlink via helping
+				return true
+			}
+		}
+	}
+}
+
+// Contains implements Set.
+func (s *SkipList) Contains(c *memsys.Ctx, key uint64) bool {
+	predCell := s.headCell(MaxHeight - 1)
+	var curr uint64
+	for level := MaxHeight - 1; level >= 0; level-- {
+		if level != MaxHeight-1 {
+			predCell -= 8
+		}
+		curr = clearPtr(loadLevel(c, predCell, level))
+		for curr != 0 {
+			k := c.Load(addr(curr) + slKey)
+			next := loadLevel(c, addr(curr)+slNext(level), level)
+			if k < key {
+				predCell = addr(curr) + slNext(level)
+				curr = clearPtr(next)
+				continue
+			}
+			if level == 0 && k == key {
+				return !isMarked(next)
+			}
+			break
+		}
+	}
+	return false
+}
+
+// Head exposes the head tower base for the recovery walker.
+func (s *SkipList) Head() isa.Addr { return s.head }

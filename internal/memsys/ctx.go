@@ -1,0 +1,215 @@
+package memsys
+
+import (
+	"fmt"
+
+	"lrp/internal/engine"
+	"lrp/internal/isa"
+)
+
+// Program is the body of one simulated hardware thread. It runs as a
+// coroutine: every Ctx memory operation hands control back to the
+// scheduler, which always resumes the thread with the smallest clock, so
+// memory operations execute in global virtual-time order.
+type Program func(ctx *Ctx)
+
+// Ctx is a thread's handle to the simulated machine. It is valid only
+// inside the Program invocation it was created for, and only on that
+// program's goroutine.
+type Ctx struct {
+	sys *System
+	tid int
+
+	resume chan struct{}
+	yield  chan struct{}
+}
+
+// ThreadID returns the hardware thread id.
+func (c *Ctx) ThreadID() int { return c.tid }
+
+// Now returns the thread's current clock.
+func (c *Ctx) Now() engine.Time { return c.sys.threads[c.tid].clock }
+
+// Rand returns the thread's deterministic PRNG.
+func (c *Ctx) Rand() *engine.Rand { return c.sys.threads[c.tid].rng }
+
+// Alloc reserves nwords of simulated memory from the thread's arena.
+// Allocation itself is architectural bookkeeping and costs no cycles;
+// initializing the memory costs stores like any other.
+func (c *Ctx) Alloc(nwords int) isa.Addr { return c.sys.threads[c.tid].arena.Alloc(nwords) }
+
+// Work advances the thread's clock by n cycles of non-memory computation.
+func (c *Ctx) Work(n engine.Time) {
+	if n < 0 {
+		panic("memsys: negative work")
+	}
+	c.sys.threads[c.tid].clock += n
+}
+
+// handoff returns control to the scheduler and blocks until this thread
+// is the global minimum-clock runnable thread again. Every memory
+// operation hands off *before* performing, so operations execute in
+// nondecreasing global virtual-time order even when a thread advanced its
+// clock with Work between operations.
+func (c *Ctx) handoff() {
+	c.yield <- struct{}{}
+	<-c.resume
+}
+
+// Load performs a plain load.
+func (c *Ctx) Load(a isa.Addr) uint64 {
+	c.handoff()
+	return c.sys.read(c.tid, a, false)
+}
+
+// LoadAcq performs an acquire load.
+func (c *Ctx) LoadAcq(a isa.Addr) uint64 {
+	c.handoff()
+	return c.sys.read(c.tid, a, true)
+}
+
+// Store performs a plain store.
+func (c *Ctx) Store(a isa.Addr, v uint64) {
+	c.handoff()
+	c.sys.write(c.tid, a, v, false)
+}
+
+// StoreRel performs a release store.
+func (c *Ctx) StoreRel(a isa.Addr, v uint64) {
+	c.handoff()
+	c.sys.write(c.tid, a, v, true)
+}
+
+// CAS performs a compare-and-swap with the given ordering, returning the
+// value observed and whether the swap succeeded.
+func (c *Ctx) CAS(a isa.Addr, expected, val uint64, order isa.Ordering) (uint64, bool) {
+	c.handoff()
+	return c.sys.rmw(c.tid, a, expected, val, order)
+}
+
+// Barrier executes an explicit full persist barrier.
+func (c *Ctx) Barrier() {
+	c.handoff()
+	c.sys.barrier(c.tid)
+}
+
+// Exec runs one isa.Op (trace replay and tests).
+func (c *Ctx) Exec(op isa.Op) (uint64, bool) {
+	if err := op.Validate(); err != nil {
+		panic(err)
+	}
+	switch op.Kind {
+	case isa.Load:
+		if op.Order.IsAcquire() {
+			return c.LoadAcq(op.Addr), true
+		}
+		return c.Load(op.Addr), true
+	case isa.Store:
+		if op.Order.IsRelease() {
+			c.StoreRel(op.Addr, op.Value)
+		} else {
+			c.Store(op.Addr, op.Value)
+		}
+		return 0, true
+	case isa.CAS:
+		return c.CAS(op.Addr, op.Expected, op.Value, op.Order)
+	case isa.FullBarrier:
+		c.Barrier()
+		return 0, true
+	default:
+		panic(fmt.Sprintf("memsys: bad op %v", op))
+	}
+}
+
+// Run executes one program per hardware thread, interleaving their memory
+// operations deterministically in virtual-time order (ties broken by
+// thread id). It returns the execution time: the maximum thread clock.
+// Run may be called multiple times; machine state persists between calls,
+// which is how workloads separate their warm-up fill from the measured
+// window.
+func (s *System) Run(progs []Program) engine.Time {
+	if len(progs) > len(s.threads) {
+		panic(fmt.Sprintf("memsys: %d programs for %d cores", len(progs), len(s.threads)))
+	}
+	n := len(progs)
+	ctxs := make([]*Ctx, n)
+	running := make([]bool, n)
+	for i := 0; i < n; i++ {
+		ctxs[i] = &Ctx{
+			sys:    s,
+			tid:    i,
+			resume: make(chan struct{}),
+			yield:  make(chan struct{}),
+		}
+		s.threads[i].done = false
+	}
+	// Launch the coroutines; each waits for its first grant.
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			<-ctxs[i].resume
+			progs[i](ctxs[i])
+			s.threads[i].done = true
+			ctxs[i].yield <- struct{}{}
+		}(i)
+		running[i] = true
+	}
+	// Scheduler loop: always grant the minimum-clock live thread.
+	for {
+		best := -1
+		var bestClock engine.Time
+		for i := 0; i < n; i++ {
+			if !running[i] {
+				continue
+			}
+			if best == -1 || s.threads[i].clock < bestClock {
+				best = i
+				bestClock = s.threads[i].clock
+			}
+		}
+		if best == -1 {
+			break
+		}
+		ctxs[best].resume <- struct{}{}
+		<-ctxs[best].yield
+		if s.threads[best].done {
+			running[best] = false
+		}
+	}
+	return s.Time()
+}
+
+// RunOne is a convenience wrapper running a single program on thread 0.
+func (s *System) RunOne(p Program) engine.Time { return s.Run([]Program{p}) }
+
+// Drain flushes every buffered persist (per-thread mechanism state plus
+// dirty LLC data under NOP), advancing each thread's clock past the
+// flush. A clean shutdown calls this so the durable image converges to
+// the architectural one.
+func (s *System) Drain() engine.Time {
+	for _, th := range s.threads {
+		th.clock = s.mech.drain(th.id, th.clock)
+	}
+	if s.mech.llcEvictPersists() {
+		now := s.Time()
+		for line, stamps := range s.llcStamps {
+			s.persistAddr(line, stamps, now, now, false)
+			s.llc.MarkClean(line)
+			delete(s.llcStamps, line)
+		}
+		for _, line := range s.llc.DirtyLines() {
+			s.persistAddr(line, nil, now, now, false)
+			s.llc.MarkClean(line)
+		}
+	}
+	return s.Time()
+}
+
+// SyncClocks advances every thread's clock to the machine-wide maximum.
+// Workload harnesses call this between the warm-up fill and the measured
+// window so all workers start together.
+func (s *System) SyncClocks() {
+	max := s.Time()
+	for _, th := range s.threads {
+		th.clock = max
+	}
+}

@@ -1,0 +1,117 @@
+package memsys
+
+import (
+	"fmt"
+
+	"lrp/internal/cache"
+	"lrp/internal/engine"
+	"lrp/internal/isa"
+	"lrp/internal/model"
+	"lrp/internal/persist"
+)
+
+// mechanism is the persistency-enforcement policy plugged into the
+// coherence protocol. Hooks receive the acting thread, the affected line
+// and the current time, and return the (possibly later) time at which the
+// architectural action may proceed. A returned time later than `now`
+// means the action stalled on the critical path.
+type mechanism interface {
+	kind() persist.Kind
+
+	// onWrite runs before a write (or the write half of an RMW) updates
+	// the line. The line is Modified; its metadata still reflects the
+	// pre-write state.
+	onWrite(tid int, l *cache.Line, release bool, now engine.Time) engine.Time
+	// onStamped runs after the write became visible and was stamped.
+	onStamped(tid int, l *cache.Line, st model.Stamp, release bool, now engine.Time) engine.Time
+	// onAcquire runs after an acquire load (or the read half of an
+	// acquire-RMW) read its value.
+	onAcquire(tid int, addr isa.Addr, now engine.Time) engine.Time
+	// onRMWAcquire implements Invariant I3 for a successful acquire-RMW.
+	onRMWAcquire(tid int, l *cache.Line, now engine.Time) engine.Time
+	// onEvict runs before a Modified line leaves tid's L1 for capacity
+	// reasons (Invariant I1).
+	onEvict(tid int, l *cache.Line, now engine.Time) engine.Time
+	// onDowngrade runs before a Modified line is forwarded from
+	// ownerTid's L1 to reqTid (Invariant I2). The returned time blocks
+	// the *requester*.
+	onDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Time) engine.Time
+	// onBarrier implements an explicit full persist barrier.
+	onBarrier(tid int, now engine.Time) engine.Time
+	// drain flushes all of tid's buffered persist state (clean shutdown).
+	drain(tid int, now engine.Time) engine.Time
+
+	// persistsOnWriteback reports whether data leaving an L1 is durable
+	// (SB/BB/LRP persist write-backs; NOP/ARP do not).
+	persistsOnWriteback() bool
+	// llcEvictPersists reports whether dirty LLC evictions write NVM
+	// (the NOP durability path; ARP's durability is its persist buffer).
+	llcEvictPersists() bool
+}
+
+func newMechanism(k persist.Kind, s *System) mechanism {
+	switch k {
+	case persist.NOP:
+		return &nopMech{s: s}
+	case persist.SB:
+		return &sbMech{s: s}
+	case persist.BB:
+		return &bbMech{s: s}
+	case persist.ARP:
+		return &arpMech{s: s}
+	case persist.LRP:
+		return &lrpMech{s: s}
+	default:
+		panic(fmt.Sprintf("memsys: unknown mechanism %v", k))
+	}
+}
+
+// scanDirty returns all lines of tid's L1 holding unpersisted writes.
+func (s *System) scanDirty(tid int) []*cache.Line {
+	var out []*cache.Line
+	s.l1s[tid].Scan(func(l *cache.Line) {
+		if l.NeedsPersist() {
+			out = append(out, l)
+		}
+	})
+	return out
+}
+
+// flushAllDirty persists every unpersisted line of tid's L1: only-written
+// lines first (in parallel), then released lines in epoch order. The
+// returned time is the final ack. Used by full barriers, epoch-overflow
+// flushes and clean-shutdown drains.
+func (s *System) flushAllDirty(tid int, now engine.Time, critical bool) engine.Time {
+	th := s.threads[tid]
+	dirty := s.scanDirty(tid)
+	horizon := th.pending.MaxTime(now)
+	var released []*cache.Line
+	for _, l := range dirty {
+		if l.Released() {
+			released = append(released, l)
+			continue
+		}
+		addr := l.Addr
+		done := s.persistL1Line(l, now, now, critical)
+		th.pending.Add(done)
+		s.blockLine(addr, done)
+		if done > horizon {
+			horizon = done
+		}
+	}
+	// Releases persist after all writes, in epoch order.
+	for i := 1; i < len(released); i++ {
+		for j := i; j > 0 && released[j].MinEpoch < released[j-1].MinEpoch; j-- {
+			released[j], released[j-1] = released[j-1], released[j]
+		}
+	}
+	t := horizon
+	for _, l := range released {
+		th.ret.Remove(l.Addr)
+		addr := l.Addr
+		t = s.persistL1Line(l, now, t, critical)
+		th.pending.Add(t)
+		s.blockLine(addr, t)
+	}
+	return t
+}

@@ -1,0 +1,202 @@
+package memsys
+
+import (
+	"lrp/internal/cache"
+	"lrp/internal/engine"
+	"lrp/internal/isa"
+	"lrp/internal/model"
+	"lrp/internal/persist"
+)
+
+// arpEntry is one per-thread persist-buffer entry: a line's worth of
+// writes belonging to one ARP epoch.
+type arpEntry struct {
+	line   isa.Addr
+	epoch  uint32
+	stamps []model.Stamp
+}
+
+// arpMech models acquire-release persistency (Kolli et al., ISCA'17) on
+// its persist-buffer substrate (§3.2 of the paper): every write enters a
+// per-thread FIFO persist buffer tagged with the thread's ARP epoch. A
+// release raises a flag; the thread's *next acquire* closes the epoch
+// (that placement is the ARP-rule: writes before the release are ordered
+// only against writes after the matching acquire). Epochs of one thread
+// drain to NVM in order; *within* an epoch entries drain concurrently in
+// address order — so a release can persist before the plain writes that
+// precede it in program order. That is precisely the gap the paper
+// identifies (§3.1.1): ARP satisfies its own rule yet can leave a linked
+// structure unrecoverable.
+//
+// Durability flows only through the buffer: cache write-backs land in the
+// NVM-side DRAM cache and are not considered persisted (the delegated-
+// ordering designs ARP builds on route persists around the cache
+// hierarchy).
+type arpMech struct {
+	s *System
+}
+
+func (m *arpMech) kind() persist.Kind { return persist.ARP }
+
+// drainEpochs issues persists for all buffered entries with epoch < upTo,
+// epoch by epoch behind the thread's drain horizon. It returns the final
+// ack time of what it drained (or the existing horizon).
+func (m *arpMech) drainEpochs(tid int, upTo uint32, now engine.Time) engine.Time {
+	s := m.s
+	th := s.threads[tid]
+	for {
+		// Find the oldest epoch still buffered below upTo.
+		oldest := upTo
+		for _, e := range th.arpBuffer {
+			if e.epoch < oldest {
+				oldest = e.epoch
+			}
+		}
+		if oldest == upTo {
+			return th.arpDrain
+		}
+		// Issue this epoch's entries concurrently, in address order,
+		// behind the previous epoch's final ack.
+		issue := engine.Max(now, th.arpDrain)
+		var kept []arpEntry
+		var entries []arpEntry
+		for _, e := range th.arpBuffer {
+			if e.epoch == oldest {
+				entries = append(entries, e)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		for i := 1; i < len(entries); i++ {
+			for j := i; j > 0 && entries[j].line < entries[j-1].line; j-- {
+				entries[j], entries[j-1] = entries[j-1], entries[j]
+			}
+		}
+		horizon := th.arpDrain
+		for _, e := range entries {
+			done := s.persistAddr(e.line, e.stamps, now, issue, false)
+			if done > horizon {
+				horizon = done
+			}
+		}
+		th.arpBuffer = kept
+		th.arpDrain = horizon
+	}
+}
+
+func (m *arpMech) onWrite(tid int, l *cache.Line, release bool, now engine.Time) engine.Time {
+	return now
+}
+
+func (m *arpMech) onStamped(tid int, l *cache.Line, st model.Stamp, release bool, now engine.Time) engine.Time {
+	s := m.s
+	th := s.threads[tid]
+	// Coalesce into an existing same-line entry of the current epoch.
+	coalesced := false
+	for i := range th.arpBuffer {
+		if th.arpBuffer[i].line == l.Addr && th.arpBuffer[i].epoch == th.arpEpoch {
+			if !st.IsZero() {
+				th.arpBuffer[i].stamps = append(th.arpBuffer[i].stamps, st)
+			}
+			coalesced = true
+			break
+		}
+	}
+	if !coalesced {
+		var stamps []model.Stamp
+		if !st.IsZero() {
+			stamps = []model.Stamp{st}
+		}
+		th.arpBuffer = append(th.arpBuffer, arpEntry{line: l.Addr, epoch: th.arpEpoch, stamps: stamps})
+	}
+	if release {
+		// ARP: a release raises the flag; the next acquire places the
+		// (one-sided) barrier. The release itself does not start a new
+		// epoch — the source of the recovery gap.
+		th.arpFlag = true
+	}
+	// Capacity pressure: the buffer stalls the core until the oldest
+	// epoch drains.
+	if len(th.arpBuffer) > s.cfg.ARPBufferCap {
+		oldest := th.arpEpoch
+		for _, e := range th.arpBuffer {
+			if e.epoch < oldest {
+				oldest = e.epoch
+			}
+		}
+		ack := m.drainEpochs(tid, oldest+1, now)
+		if ack > now {
+			now = ack
+		}
+	}
+	return now
+}
+
+func (m *arpMech) onAcquire(tid int, addr isa.Addr, now engine.Time) engine.Time {
+	th := m.s.threads[tid]
+	if th.arpFlag {
+		// The flagged acquire closes the epoch: writes before the
+		// release are now ordered against writes after this acquire.
+		th.arpFlag = false
+		closing := th.arpEpoch
+		th.arpEpoch++
+		m.drainEpochs(tid, closing+1, now) // proactive, off the critical path
+	}
+	return now
+}
+
+func (m *arpMech) onRMWAcquire(tid int, l *cache.Line, now engine.Time) engine.Time { return now }
+
+// onEvict: a dirty line leaving the L1 becomes visible through the LLC
+// to readers the buffer cannot see, so the owner's buffered epochs drain
+// eagerly and the directory holds the line until the ack — the delegated
+// ordering that RCBSP-style hardware performs when buffered data escapes.
+func (m *arpMech) onEvict(tid int, l *cache.Line, now engine.Time) engine.Time {
+	s := m.s
+	if l.NeedsPersist() {
+		th := s.threads[tid]
+		ack := m.drainEpochs(tid, th.arpEpoch+1, now)
+		s.blockLine(l.Addr, ack)
+	}
+	return now
+}
+
+// onDowngrade implements ARP's inter-thread component: when a reader
+// observes another thread's buffered writes, the source's epochs drain
+// (off the critical path) and the reader's *future* drains are held
+// behind the ack — so writes after the reader's acquire persist after
+// writes before the source's release, exactly the ARP-rule. Crucially,
+// nothing orders the source's release against its own preceding writes:
+// the recovery gap the paper identifies survives intact.
+func (m *arpMech) onDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Time) engine.Time {
+	s := m.s
+	if !l.NeedsPersist() {
+		return now
+	}
+	owner := s.threads[ownerTid]
+	ack := m.drainEpochs(ownerTid, owner.arpEpoch+1, now)
+	if reqTid >= 0 {
+		req := s.threads[reqTid]
+		if ack > req.arpDrain {
+			req.arpDrain = ack
+		}
+	}
+	return now
+}
+
+func (m *arpMech) onBarrier(tid int, now engine.Time) engine.Time {
+	th := m.s.threads[tid]
+	th.arpEpoch++
+	ack := m.drainEpochs(tid, th.arpEpoch, now)
+	return engine.Max(now, ack)
+}
+
+func (m *arpMech) drain(tid int, now engine.Time) engine.Time {
+	th := m.s.threads[tid]
+	th.arpEpoch++
+	ack := m.drainEpochs(tid, th.arpEpoch, now)
+	return engine.Max(now, ack)
+}
+
+func (m *arpMech) persistsOnWriteback() bool { return false }
+func (m *arpMech) llcEvictPersists() bool    { return false }

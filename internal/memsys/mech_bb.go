@@ -1,0 +1,191 @@
+package memsys
+
+import (
+	"lrp/internal/cache"
+	"lrp/internal/engine"
+	"lrp/internal/isa"
+	"lrp/internal/model"
+	"lrp/internal/persist"
+)
+
+// bbMech is the state-of-the-art buffered full barrier (§6.2 "BB",
+// modeled on Joshi et al., MICRO'15): writes buffer in the cache tagged
+// with their epoch; a full barrier is inserted before and after each
+// release; each barrier closes the epoch and *proactively flushes* it off
+// the critical path. Costs land on conflicts:
+//
+//   - writing a line that still holds an older epoch's data (or whose
+//     flush is in flight) stalls until that data is durable;
+//   - evicting a line whose writes are not yet durable stalls;
+//   - inter-thread dependencies are enforced lazily: the consumer's
+//     persist horizon is advanced past the producer's ack instead of
+//     blocking the consumer's execution.
+//
+// Epochs of one thread persist in order: each epoch's flush is issued no
+// earlier than the previous epoch's final ack (the thread's horizon).
+type bbMech struct {
+	s *System
+}
+
+func (m *bbMech) kind() persist.Kind { return persist.BB }
+
+// flushEpoch closes the current epoch: it proactively issues persists for
+// every dirty line of the epoch, serialized behind the thread's epoch
+// horizon. The hardware can track only a bounded number of unpersisted
+// epochs, so the barrier itself stalls (critical path) until the
+// epoch-before-last has fully acked — the cost that dominates BB under
+// NVM bandwidth pressure. It returns the (possibly stalled) time.
+func (m *bbMech) flushEpoch(tid int, now engine.Time) engine.Time {
+	s := m.s
+	th := s.threads[tid]
+	cur := th.epochs.Current()
+	stalled := false
+	if th.bbHorizon > now {
+		// One epoch in flight: the barrier drains the previous epoch
+		// before the next may close (the flush queue is bounded and
+		// epochs persist strictly in order).
+		now = th.bbHorizon
+		stalled = true
+	}
+	issue := engine.Max(now, th.bbHorizon)
+	horizon := th.bbHorizon
+	for _, l := range s.scanDirty(tid) {
+		if l.Epoch != cur {
+			continue // older epochs are already in flight
+		}
+		done := s.persistL1Line(l, now, issue, stalled)
+		th.pending.Add(done)
+		if done > horizon {
+			horizon = done
+		}
+	}
+	th.bbPrevHorizon = th.bbHorizon
+	th.bbHorizon = horizon
+	if _, overflowed := th.epochs.Advance(); overflowed {
+		// Epoch-id wraparound: tags become incomparable, so everything
+		// still buffered must go (mirrors LRP's overflow flush).
+		s.stats.EpochOverflows++
+		th.bbHorizon = s.flushAllDirty(tid, issue, false)
+	}
+	return now
+}
+
+func (m *bbMech) onWrite(tid int, l *cache.Line, release bool, now engine.Time) engine.Time {
+	s := m.s
+	th := s.threads[tid]
+	// Conflict: the line's previous contents are being flushed; wait for
+	// the ack before overwriting (the drain reads the line).
+	if engine.Time(l.FlushedUntil) > now {
+		now = engine.Time(l.FlushedUntil)
+	}
+	// Conflict: the line holds unpersisted data from an older epoch; a
+	// dirty line must hold a single epoch, so persist the old epoch on
+	// the critical path.
+	if l.NeedsPersist() && l.Epoch != th.epochs.Current() {
+		issue := engine.Max(now, th.bbHorizon)
+		done := s.persistL1Line(l, now, issue, true)
+		th.pending.Add(done)
+		if done > th.bbHorizon {
+			th.bbHorizon = done
+		}
+		now = done
+	}
+	if release {
+		// Full barrier before the release: close the epoch.
+		now = m.flushEpoch(tid, now)
+	}
+	return now
+}
+
+func (m *bbMech) onStamped(tid int, l *cache.Line, st model.Stamp, release bool, now engine.Time) engine.Time {
+	th := m.s.threads[tid]
+	l.Epoch = th.epochs.Current()
+	if release {
+		// Full barrier after the release: the release sits alone in its
+		// epoch and its flush is issued immediately.
+		now = m.flushEpoch(tid, now)
+	}
+	return now
+}
+
+func (m *bbMech) onAcquire(tid int, addr isa.Addr, now engine.Time) engine.Time { return now }
+
+func (m *bbMech) onRMWAcquire(tid int, l *cache.Line, now engine.Time) engine.Time {
+	s := m.s
+	th := s.threads[tid]
+	if l.NeedsPersist() {
+		issue := engine.Max(now, th.bbHorizon)
+		done := s.persistL1Line(l, now, issue, true)
+		th.pending.Add(done)
+		return done
+	}
+	return engine.Max(now, engine.Time(l.FlushedUntil))
+}
+
+func (m *bbMech) onEvict(tid int, l *cache.Line, now engine.Time) engine.Time {
+	s := m.s
+	th := s.threads[tid]
+	if l.NeedsPersist() {
+		// Unflushed (current-epoch) data evicted: persist on the
+		// critical path, behind the epoch horizon.
+		issue := engine.Max(now, th.bbHorizon)
+		done := s.persistL1Line(l, now, issue, true)
+		th.pending.Add(done)
+		return done
+	}
+	if engine.Time(l.FlushedUntil) > now {
+		// Flush in flight: the eviction proceeds, but the directory
+		// blocks consumers of the line until the ack (transient state).
+		s.blockLine(l.Addr, engine.Time(l.FlushedUntil))
+	}
+	return now
+}
+
+func (m *bbMech) onDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Time) engine.Time {
+	s := m.s
+	owner := s.threads[ownerTid]
+	var ack engine.Time
+	if l.NeedsPersist() {
+		// The shared line's writes are not durable yet: persist them off
+		// the critical path (lazy inter-thread enforcement)...
+		issue := engine.Max(now, owner.bbHorizon)
+		ack = s.persistL1Line(l, now, issue, false)
+		owner.pending.Add(ack)
+		if ack > owner.bbHorizon {
+			owner.bbHorizon = ack
+		}
+	} else {
+		ack = engine.Time(l.FlushedUntil)
+	}
+	// ...and make the *requester's* future persists wait behind the
+	// producer's ack, so cross-thread persist order holds without
+	// blocking the requester's execution. Other consumers may reach the
+	// data through the resulting Shared copies without a downgrade, so
+	// the directory also holds the line until the ack.
+	if reqTid >= 0 && ack > s.threads[reqTid].bbHorizon {
+		s.threads[reqTid].bbHorizon = ack
+	}
+	s.blockLine(l.Addr, ack)
+	return now
+}
+
+func (m *bbMech) onBarrier(tid int, now engine.Time) engine.Time {
+	th := m.s.threads[tid]
+	done := m.s.flushAllDirty(tid, engine.Max(now, th.bbHorizon), true)
+	if done > th.bbHorizon {
+		th.bbHorizon = done
+	}
+	return done
+}
+
+func (m *bbMech) drain(tid int, now engine.Time) engine.Time {
+	th := m.s.threads[tid]
+	done := m.s.flushAllDirty(tid, engine.Max(now, th.bbHorizon), false)
+	if done > th.bbHorizon {
+		th.bbHorizon = done
+	}
+	return done
+}
+
+func (m *bbMech) persistsOnWriteback() bool { return true }
+func (m *bbMech) llcEvictPersists() bool    { return false }

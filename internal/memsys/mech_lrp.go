@@ -1,0 +1,239 @@
+package memsys
+
+import (
+	"lrp/internal/cache"
+	"lrp/internal/engine"
+	"lrp/internal/isa"
+	"lrp/internal/model"
+	"lrp/internal/persist"
+)
+
+// lrpMech is the paper's contribution (§5): lazy release persistency.
+// Writes buffer in the L1 and never persist eagerly. Each line tracks the
+// epoch of its earliest unpersisted write (min-epoch) and whether it
+// holds an unpersisted release (release bit, indexed by the RET). When a
+// released line must be persisted — eviction (I1), downgrade (I2), an
+// acquire-RMW (I3), RET pressure, or epoch overflow — the persist engine
+// scans the L1 and persists every line with an older min-epoch: the
+// only-written lines first, concurrently, then the released lines in
+// epoch order (§5.2.2). Only the downgrade (I2) and acquire-RMW (I3)
+// paths block a core; everything else is off the critical path, which is
+// where LRP's advantage over the full barriers comes from.
+type lrpMech struct {
+	s *System
+}
+
+func (m *lrpMech) kind() persist.Kind { return persist.LRP }
+
+// persistReleased runs the persist-engine procedure for released line l
+// of thread tid: persist all lines with min-epoch older than l's release
+// epoch (writes first, then releases in epoch order), then l itself.
+// It returns the final ack time; callers that must block (I2, I3) wait
+// for it, callers that must not (I1, RET pressure) ignore it.
+func (m *lrpMech) persistReleased(tid int, l *cache.Line, now engine.Time, critical bool) engine.Time {
+	s := m.s
+	th := s.threads[tid]
+	trigger := persist.LineRef{Addr: l.Addr, MinEpoch: l.MinEpoch, Released: true}
+
+	// Scan the L1 (§5.2.2: the engine examines all cache lines).
+	byAddr := make(map[isa.Addr]*cache.Line)
+	var scanned []persist.LineRef
+	s.l1s[tid].Scan(func(cl *cache.Line) {
+		if cl.NeedsPersist() {
+			scanned = append(scanned, persist.LineRef{
+				Addr: cl.Addr, MinEpoch: cl.MinEpoch, Released: cl.Released(),
+			})
+			byAddr[cl.Addr] = cl
+		}
+	})
+	sched := persist.BuildSchedule(trigger, scanned)
+	s.stats.EngineScans++
+	s.stats.EngineReleases += uint64(len(sched.Releases))
+
+	// Only-written lines persist immediately and concurrently; the
+	// pending-persists counter tracks them. The engine also waits for
+	// persists already in flight from earlier engine runs.
+	th.pending.DrainUpTo(now)
+	horizon := th.pending.MaxTime(now)
+	for _, w := range sched.Writes {
+		addr := w.Addr
+		done := s.persistL1Line(byAddr[addr], now, now, critical)
+		th.pending.Add(done)
+		s.blockLine(addr, done) // directory holds the line until the ack (I4)
+		if done > horizon {
+			horizon = done
+		}
+	}
+	// Released lines persist only after the counter drains, in epoch
+	// order, each waiting for the previous ack.
+	t := horizon
+	for _, r := range sched.Releases {
+		cl := byAddr[r.Addr]
+		if cl == nil {
+			cl = l
+		}
+		th.ret.Remove(cl.Addr)
+		addr := cl.Addr
+		t = s.persistL1Line(cl, now, t, critical)
+		th.pending.Add(t)
+		// The directory holds the line until the ack: a released line's
+		// value must not become readable (through S copies or the LLC)
+		// before it is durable, or a consumer could out-persist it.
+		s.blockLine(addr, t)
+	}
+	return t
+}
+
+func (m *lrpMech) onWrite(tid int, l *cache.Line, release bool, now engine.Time) engine.Time {
+	s := m.s
+	th := s.threads[tid]
+	if !release {
+		// §5.2.2 "On a write": a clean line adopts the thread's current
+		// epoch; a dirty line keeps its (smaller) min-epoch.
+		if !l.NeedsPersist() {
+			l.MinEpoch = th.epochs.Current()
+		}
+		return now
+	}
+	// Backpressure: the persist engine tracks a bounded number of
+	// outstanding persists; a release that would exceed it stalls until
+	// an ack retires.
+	if free := th.pending.ReleaseSlots(now, s.cfg.MaxPendingPersists-1); free > now {
+		now = free
+	}
+	// §5.2.2 "On a release": the epoch advances; the new epoch is the
+	// release epoch.
+	if !l.NeedsPersist() {
+		// Case (1): clean line.
+	} else if l.Released() {
+		// Case (2) with a prior unpersisted release in the line: the
+		// engine must persist it with its one-sided barrier intact.
+		m.persistReleased(tid, l, now, false)
+	} else {
+		// Case (2): only-written line — a release never coalesces with
+		// earlier writes; the old content persists (off the critical
+		// path) and the line is then treated as clean.
+		done := s.persistL1Line(l, now, now, false)
+		th.pending.Add(done)
+	}
+	epoch, overflowed := th.epochs.Advance()
+	if overflowed {
+		// §5.2.1: on epoch-id overflow, persist everything buffered and
+		// restart the epochs.
+		s.stats.EpochOverflows++
+		s.flushAllDirty(tid, now, false)
+		th.ret.Clear()
+		epoch, _ = th.epochs.Advance()
+	}
+	// RET pressure: persist the oldest release before allocating.
+	if th.ret.AtWatermark() {
+		if e, ok := th.ret.Oldest(); ok {
+			s.stats.RETWatermarkFlushes++
+			if cl := s.l1s[tid].Lookup(e.Line); cl != nil && cl.Released() {
+				m.persistReleased(tid, cl, now, false)
+			} else {
+				th.ret.Remove(e.Line)
+			}
+		}
+	}
+	l.MinEpoch = epoch
+	l.Release = true
+	th.ret.Add(l.Addr, epoch)
+	return now
+}
+
+func (m *lrpMech) onStamped(tid int, l *cache.Line, st model.Stamp, release bool, now engine.Time) engine.Time {
+	return now
+}
+
+// onAcquire needs no action (§5.2.2): the synchronizing release was made
+// durable by the downgrade/eviction invariants before the acquire's read
+// could complete.
+func (m *lrpMech) onAcquire(tid int, addr isa.Addr, now engine.Time) engine.Time { return now }
+
+// onRMWAcquire is Invariant I3: a successful acquire-RMW blocks the
+// pipeline until its write persists.
+func (m *lrpMech) onRMWAcquire(tid int, l *cache.Line, now engine.Time) engine.Time {
+	if l.Released() {
+		return m.persistReleased(tid, l, now, true)
+	}
+	if !l.NeedsPersist() {
+		return now
+	}
+	done := m.s.persistL1Line(l, now, now, true)
+	m.s.threads[tid].pending.Add(done)
+	return done
+}
+
+// onEvict is Invariant I1: evicting a released line triggers the persist
+// engine but does not wait for the released line's own ack; the directory
+// blocks requests for the line until the ack instead (§5.2.3 PutM
+// transient state). Only-written evictions persist off the critical path
+// (Invariant I4 at the directory).
+func (m *lrpMech) onEvict(tid int, l *cache.Line, now engine.Time) engine.Time {
+	s := m.s
+	if l.Released() {
+		ack := m.persistReleased(tid, l, now, false)
+		s.blockLine(l.Addr, ack)
+		return now
+	}
+	if l.NeedsPersist() {
+		done := s.persistL1Line(l, now, now, false)
+		s.threads[tid].pending.Add(done)
+		s.blockLine(l.Addr, done)
+	} else if f := engine.Time(l.FlushedUntil); f > now {
+		// Persist still in flight: the directory holds the line until
+		// the ack (PutM transient state, §5.2.3).
+		s.blockLine(l.Addr, f)
+	}
+	return now
+}
+
+// onDowngrade is Invariant I2: downgrading a released line blocks the
+// requester until all preceding writes *and the release itself* persist.
+func (m *lrpMech) onDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Time) engine.Time {
+	s := m.s
+	if l.Released() {
+		done := m.persistReleased(ownerTid, l, now, true)
+		s.stats.I2Stalls++
+		if done > now {
+			s.stats.I2Cycles += uint64(done - now)
+		}
+		return done
+	}
+	if l.NeedsPersist() {
+		// Only-written: persist off the critical path; the directory
+		// blocks later requests until the ack (I4).
+		done := s.persistL1Line(l, now, now, false)
+		s.threads[ownerTid].pending.Add(done)
+		s.blockLine(l.Addr, done)
+		return now
+	}
+	if f := engine.Time(l.FlushedUntil); f > now {
+		// The line was persisted off the critical path (RET drain, a
+		// re-release, I1) and the ack is still in flight: the RET entry
+		// is squashed only at the ack, so the downgrade — like I2 —
+		// waits for it. Without this wait a consumer could out-persist
+		// the producer's release.
+		s.blockLine(l.Addr, f)
+		s.stats.I2Stalls++
+		s.stats.I2Cycles += uint64(f - now)
+		return f
+	}
+	return now
+}
+
+func (m *lrpMech) onBarrier(tid int, now engine.Time) engine.Time {
+	done := m.s.flushAllDirty(tid, now, true)
+	m.s.threads[tid].ret.Clear()
+	return done
+}
+
+func (m *lrpMech) drain(tid int, now engine.Time) engine.Time {
+	done := m.s.flushAllDirty(tid, now, false)
+	m.s.threads[tid].ret.Clear()
+	return done
+}
+
+func (m *lrpMech) persistsOnWriteback() bool { return true }
+func (m *lrpMech) llcEvictPersists() bool    { return false }

@@ -1,0 +1,48 @@
+package memsys
+
+import (
+	"lrp/internal/cache"
+	"lrp/internal/engine"
+	"lrp/internal/isa"
+	"lrp/internal/model"
+	"lrp/internal/persist"
+)
+
+// nopMech is volatile execution: no persistency ordering whatsoever.
+// Dirty data reaches NVM only when the LLC evicts it, with no guarantees
+// on order — a crash leaves an arbitrary (and generally unrecoverable)
+// subset of writes durable. NOP is the paper's no-persistency baseline
+// that every overhead is normalized against.
+type nopMech struct {
+	s *System
+}
+
+func (m *nopMech) kind() persist.Kind { return persist.NOP }
+
+func (m *nopMech) onWrite(tid int, l *cache.Line, release bool, now engine.Time) engine.Time {
+	return now
+}
+
+func (m *nopMech) onStamped(tid int, l *cache.Line, st model.Stamp, release bool, now engine.Time) engine.Time {
+	return now
+}
+
+func (m *nopMech) onAcquire(tid int, addr isa.Addr, now engine.Time) engine.Time { return now }
+
+func (m *nopMech) onRMWAcquire(tid int, l *cache.Line, now engine.Time) engine.Time { return now }
+
+func (m *nopMech) onEvict(tid int, l *cache.Line, now engine.Time) engine.Time { return now }
+
+func (m *nopMech) onDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Time) engine.Time {
+	return now
+}
+
+func (m *nopMech) onBarrier(tid int, now engine.Time) engine.Time { return now }
+
+func (m *nopMech) drain(tid int, now engine.Time) engine.Time {
+	// A clean shutdown still flushes caches so the final image is whole.
+	return m.s.flushAllDirty(tid, now, false)
+}
+
+func (m *nopMech) persistsOnWriteback() bool { return false }
+func (m *nopMech) llcEvictPersists() bool    { return true }

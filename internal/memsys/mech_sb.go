@@ -1,0 +1,78 @@
+package memsys
+
+import (
+	"lrp/internal/cache"
+	"lrp/internal/engine"
+	"lrp/internal/isa"
+	"lrp/internal/model"
+	"lrp/internal/persist"
+)
+
+// sbMech enforces RP with strict full barriers (§6.2 "SB"): a barrier
+// before every release blocks until everything the thread has written has
+// persisted; a barrier after the release blocks until the release itself
+// has persisted. Inter-thread dependencies block the requester until the
+// source thread's dirty state persists. SB trades all concurrency for
+// simplicity and is the paper's most conservative comparison point.
+type sbMech struct {
+	s *System
+}
+
+func (m *sbMech) kind() persist.Kind { return persist.SB }
+
+func (m *sbMech) onWrite(tid int, l *cache.Line, release bool, now engine.Time) engine.Time {
+	if !release {
+		return now
+	}
+	// Full barrier before the release: persist everything buffered and
+	// wait for the acks.
+	return m.s.flushAllDirty(tid, now, true)
+}
+
+func (m *sbMech) onStamped(tid int, l *cache.Line, st model.Stamp, release bool, now engine.Time) engine.Time {
+	if !release {
+		return now
+	}
+	// Full barrier after the release: the release itself persists before
+	// the thread proceeds, which is what lets a later acquire (from
+	// anywhere) trust that a visible release is durable.
+	done := m.s.persistL1Line(l, now, now, true)
+	m.s.threads[tid].pending.Add(done)
+	return done
+}
+
+func (m *sbMech) onAcquire(tid int, addr isa.Addr, now engine.Time) engine.Time { return now }
+
+func (m *sbMech) onRMWAcquire(tid int, l *cache.Line, now engine.Time) engine.Time {
+	if !l.NeedsPersist() {
+		return now
+	}
+	return m.s.persistL1Line(l, now, now, true)
+}
+
+func (m *sbMech) onEvict(tid int, l *cache.Line, now engine.Time) engine.Time {
+	if !l.NeedsPersist() {
+		return now
+	}
+	// Strict: eviction persists on the critical path.
+	return m.s.persistL1Line(l, now, now, true)
+}
+
+func (m *sbMech) onDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Time) engine.Time {
+	// Inter-thread dependency: the requester blocks until the source
+	// thread's buffered writes (its ongoing epoch) persist, including
+	// any ack still in flight for this line.
+	done := m.s.flushAllDirty(ownerTid, now, true)
+	return engine.Max(done, engine.Time(l.FlushedUntil))
+}
+
+func (m *sbMech) onBarrier(tid int, now engine.Time) engine.Time {
+	return m.s.flushAllDirty(tid, now, true)
+}
+
+func (m *sbMech) drain(tid int, now engine.Time) engine.Time {
+	return m.s.flushAllDirty(tid, now, false)
+}
+
+func (m *sbMech) persistsOnWriteback() bool { return true }
+func (m *sbMech) llcEvictPersists() bool    { return false }

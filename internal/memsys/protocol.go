@@ -1,0 +1,286 @@
+package memsys
+
+import (
+	"lrp/internal/cache"
+	"lrp/internal/engine"
+	"lrp/internal/isa"
+	"lrp/internal/model"
+)
+
+// read executes a load by thread tid and returns the value read.
+func (s *System) read(tid int, addr isa.Addr, acquire bool) uint64 {
+	th := s.threads[tid]
+	line := addr.Line()
+	t := th.clock + s.cfg.IssueCost
+	if l := s.l1s[tid].Access(line); l != nil {
+		t += s.cfg.L1Lat
+	} else {
+		t += s.cfg.L1Lat // miss detection
+		t = s.fetch(tid, line, false, t)
+	}
+	if acquire {
+		if s.tracker != nil {
+			s.tracker.OnAcquire(tid, addr)
+		}
+		t = s.mech.onAcquire(tid, addr, t)
+	}
+	s.stats.Ops++
+	th.clock = t
+	return s.mem.Read(addr)
+}
+
+// write executes a store by thread tid.
+func (s *System) write(tid int, addr isa.Addr, val uint64, release bool) {
+	th := s.threads[tid]
+	t := s.obtainExclusive(tid, addr.Line(), th.clock+s.cfg.IssueCost)
+	t = s.performWrite(tid, addr, val, release, false, t)
+	s.stats.Ops++
+	th.clock = t
+}
+
+// rmw executes a compare-and-swap. It returns the old value and whether
+// the swap happened.
+func (s *System) rmw(tid int, addr isa.Addr, expected, val uint64, order isa.Ordering) (uint64, bool) {
+	th := s.threads[tid]
+	// A CAS obtains exclusive ownership up front (it must be able to
+	// write atomically), succeed or fail.
+	t := s.obtainExclusive(tid, addr.Line(), th.clock+s.cfg.IssueCost)
+	old := s.mem.Read(addr)
+	if order.IsAcquire() {
+		if s.tracker != nil {
+			s.tracker.OnAcquire(tid, addr)
+		}
+		t = s.mech.onAcquire(tid, addr, t)
+	}
+	swapped := old == expected
+	if swapped {
+		t = s.performWrite(tid, addr, val, order.IsRelease(), order.IsAcquire(), t)
+	}
+	s.stats.Ops++
+	th.clock = t
+	return old, swapped
+}
+
+// barrier executes an explicit full persist barrier.
+func (s *System) barrier(tid int) {
+	th := s.threads[tid]
+	t := th.clock + s.cfg.IssueCost
+	t2 := s.mech.onBarrier(tid, t)
+	s.stall(t, t2)
+	s.stats.Ops++
+	th.clock = t2
+}
+
+// obtainExclusive brings addr's line into the local L1 in Modified state,
+// returning the time ownership is held.
+func (s *System) obtainExclusive(tid int, line isa.Addr, t engine.Time) engine.Time {
+	l1 := s.l1s[tid]
+	l := l1.Access(line)
+	switch {
+	case l == nil:
+		t += s.cfg.L1Lat // miss detection
+		t = s.fetch(tid, line, true, t)
+	case l.State == cache.Modified:
+		t += s.cfg.L1Lat
+	case l.State == cache.Exclusive:
+		l.State = cache.Modified
+		s.dir.SetOwner(line, tid)
+		t += s.cfg.L1Lat
+	case l.State == cache.Shared:
+		t += s.cfg.L1Lat
+		t = s.upgradeShared(tid, line, t)
+		l.State = cache.Modified
+	}
+	return t
+}
+
+// performWrite runs the mechanism write hook, stamps the write, and makes
+// it visible. The line must already be Modified in tid's L1.
+func (s *System) performWrite(tid int, addr isa.Addr, val uint64, release, rmwAcquire bool, t engine.Time) engine.Time {
+	l := s.l1s[tid].Lookup(addr.Line())
+	t2 := s.mech.onWrite(tid, l, release, t)
+	s.stall(t, t2)
+	t = t2
+	var st model.Stamp
+	if s.tracker != nil {
+		if release {
+			st = s.tracker.OnRelease(tid, addr)
+		} else {
+			st = s.tracker.OnWrite(tid, addr)
+		}
+		l.Stamps = append(l.Stamps, st)
+	}
+	l.Pending = true
+	s.mem.Write(addr, val)
+	t = s.mech.onStamped(tid, l, st, release, t)
+	if rmwAcquire {
+		// Invariant I3: an acquire-RMW blocks the pipeline until its
+		// write persists.
+		t3 := s.mech.onRMWAcquire(tid, l, t)
+		s.stall(t, t3)
+		t = t3
+	}
+	return t
+}
+
+// upgradeShared invalidates other sharers so tid can write a line it
+// holds in Shared state.
+func (s *System) upgradeShared(tid int, line isa.Addr, t engine.Time) engine.Time {
+	bank := s.llc.Bank(line)
+	t += s.netLat(tid, bank)
+	t = s.lineAvailable(line, t)
+	t = s.llcSrv.Bank(uint64(bank)).Serve(t, s.cfg.LLCLat)
+	e := s.dir.Entry(line)
+	var far engine.Time
+	for _, sh := range e.SharerList() {
+		if sh == tid {
+			continue
+		}
+		s.l1s[sh].Invalidate(line) // Shared lines hold no dirty data
+		s.dir.RemoveSharer(line, sh)
+		if d := s.netLat(sh, bank); d > far {
+			far = d
+		}
+	}
+	t += 2 * far // invalidation round trip to the farthest sharer
+	s.dir.SetOwner(line, tid)
+	return t + s.netLat(tid, bank)
+}
+
+// fetch resolves an L1 miss at the directory, returning the time the fill
+// completes. exclusive selects GetM (write intent) vs GetS.
+func (s *System) fetch(tid int, line isa.Addr, exclusive bool, t engine.Time) engine.Time {
+	bank := s.llc.Bank(line)
+	t += s.netLat(tid, bank)
+	// Invariant I4 / §5.2.3: the directory blocks requests to a line
+	// with an in-flight persist until the ack arrives.
+	t = s.lineAvailable(line, t)
+	t = s.llcSrv.Bank(uint64(bank)).Serve(t, s.cfg.LLCLat)
+	llcHit := s.llc.Access(line)
+	e := s.dir.Entry(line)
+	dataFromOwner := false
+
+	if e.Owner != cache.NoOwner && e.Owner != tid {
+		owner := e.Owner
+		ol := s.l1s[owner].Lookup(line)
+		fwd := s.netLat(owner, bank)
+		t += fwd + s.cfg.L1Lat
+		if ol != nil && ol.State == cache.Modified {
+			s.stats.Downgrades++
+			s.stats.Writebacks++
+			t2 := s.mech.onDowngrade(owner, tid, ol, t)
+			s.stall(t, t2)
+			t = t2
+			s.installWriteback(owner, ol, t)
+			dataFromOwner = true
+		}
+		if exclusive {
+			if ol != nil {
+				s.l1s[owner].Invalidate(line)
+			}
+			s.dir.DropCore(line, owner)
+		} else {
+			if ol != nil {
+				ol.State = cache.Shared
+			}
+			s.dir.ClearOwner(line, true)
+		}
+		t += fwd
+		if ol != nil && ol.State != cache.Modified && !dataFromOwner {
+			// Clean forward (owner held E): data came from the owner.
+			dataFromOwner = true
+		}
+	} else if exclusive && e.HasSharers() {
+		var far engine.Time
+		for _, sh := range e.SharerList() {
+			if sh == tid {
+				continue
+			}
+			s.l1s[sh].Invalidate(line)
+			s.dir.RemoveSharer(line, sh)
+			if d := s.netLat(sh, bank); d > far {
+				far = d
+			}
+		}
+		t += 2 * far
+	}
+
+	if !llcHit && !dataFromOwner {
+		t = s.nvm.ReadLine(t, line)
+	}
+	if !llcHit {
+		s.llcFillClean(line, t)
+	}
+
+	// Install into the requester's L1, evicting a victim if needed.
+	l1 := s.l1s[tid]
+	slot := l1.Victim(line)
+	if slot.State != cache.Invalid {
+		t = s.evictL1(tid, slot, t)
+	}
+	st := cache.Shared
+	e = s.dir.Entry(line)
+	if exclusive {
+		st = cache.Modified
+		s.dir.SetOwner(line, tid)
+	} else if e.Owner == cache.NoOwner && !e.HasSharers() {
+		st = cache.Exclusive
+		s.dir.SetOwner(line, tid)
+	} else {
+		s.dir.AddSharer(line, tid)
+	}
+	l1.Fill(slot, line, st)
+	return t + s.netLat(tid, bank)
+}
+
+// evictL1 handles the capacity eviction of an L1 victim line, running the
+// mechanism's eviction invariant and moving dirty data to the LLC.
+func (s *System) evictL1(tid int, victim *cache.Line, t engine.Time) engine.Time {
+	if victim.State == cache.Modified {
+		s.stats.Writebacks++
+		t2 := s.mech.onEvict(tid, victim, t)
+		s.stall(t, t2)
+		t = t2
+		s.installWriteback(tid, victim, t)
+	}
+	s.dir.DropCore(victim.Addr, tid)
+	return t
+}
+
+// installWriteback puts an L1 line's data into the LLC after a downgrade
+// or eviction. If the mechanism did not persist the data, the LLC copy is
+// dirty and (under NOP) the line's stamps travel with it.
+func (s *System) installWriteback(tid int, l *cache.Line, t engine.Time) {
+	s.llcFillClean(l.Addr, t)
+	if l.NeedsPersist() {
+		// Data left the L1 without persisting (NOP or ARP).
+		s.llc.MarkDirty(l.Addr)
+		if s.mech.llcEvictPersists() {
+			// NOP: stamps follow the data; they persist when the LLC
+			// evicts the line to NVM.
+			if len(l.Stamps) > 0 {
+				s.llcStamps[l.Addr] = append(s.llcStamps[l.Addr], l.TakeStamps()...)
+			}
+		}
+		// Under ARP the persist buffer owns durability; the writeback's
+		// stamps are dropped here and resolved by the buffer drain.
+		l.ClearPersistMeta()
+	}
+	_ = tid
+}
+
+// llcFillClean inserts a line into the LLC, handling the capacity
+// eviction of a dirty LLC line (possible only under NOP).
+func (s *System) llcFillClean(line isa.Addr, t engine.Time) {
+	ev, dirty, had := s.llc.Fill(line)
+	if !had {
+		return
+	}
+	stamps := s.llcStamps[ev]
+	delete(s.llcStamps, ev)
+	if dirty && s.mech.llcEvictPersists() {
+		// Dirty LLC data reaches NVM when evicted (off the critical
+		// path of any core).
+		s.persistAddr(ev, stamps, t, t, false)
+	}
+}

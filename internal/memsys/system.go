@@ -1,0 +1,289 @@
+package memsys
+
+import (
+	"fmt"
+
+	"lrp/internal/cache"
+	"lrp/internal/engine"
+	"lrp/internal/isa"
+	"lrp/internal/mm"
+	"lrp/internal/model"
+	"lrp/internal/nvm"
+	"lrp/internal/persist"
+)
+
+// Stats aggregates run-level counters across the machine.
+type Stats struct {
+	// Ops counts memory operations executed.
+	Ops uint64
+	// Persists counts line persists issued to the NVM controllers.
+	Persists uint64
+	// CriticalPersists counts persists issued while some core's clock
+	// was blocked waiting on them (the paper's "write backs in the
+	// critical path of execution", Figure 6).
+	CriticalPersists uint64
+	// Writebacks counts dirty-line movements out of an L1 (evictions
+	// and downgrades).
+	Writebacks uint64
+	// StallCycles accumulates cycles cores spent blocked on persistency
+	// actions (barriers, conflicts, I2/I3 waits).
+	StallCycles uint64
+	// RETWatermarkFlushes counts persists triggered by RET occupancy.
+	RETWatermarkFlushes uint64
+	// EpochOverflows counts epoch-counter wraparound flushes.
+	EpochOverflows uint64
+	// Downgrades counts dirty-line forwards between L1s.
+	Downgrades uint64
+	// I2Stalls counts downgrades of released lines (acquires that had to
+	// block, Invariant I2); I2Cycles is the total blocked time.
+	I2Stalls uint64
+	I2Cycles uint64
+	// EngineScans counts persist-engine runs; EngineReleases the
+	// released lines they persisted (serial NVM round trips).
+	EngineScans    uint64
+	EngineReleases uint64
+}
+
+// thread is the per-hardware-thread machine state.
+type thread struct {
+	id    int
+	clock engine.Time
+	done  bool
+
+	arena *mm.Arena
+	rng   *engine.Rand
+
+	// Persistency mechanism state.
+	epochs  *persist.EpochCounter
+	ret     *persist.RET
+	pending engine.CompletionSet // outstanding persists (for drains)
+
+	// bbHorizon is BB's epoch-serialization horizon: the final ack time
+	// of the last closed epoch (own or inherited from a producer via a
+	// lazy inter-thread dependency). bbPrevHorizon is the ack horizon of
+	// the epoch before that: the hardware tracks a bounded number of
+	// unpersisted epochs, so closing a new epoch stalls until the
+	// epoch-before-last has fully acked (two epochs in flight).
+	bbHorizon     engine.Time
+	bbPrevHorizon engine.Time
+
+	// ARP state: the release flag and the per-thread persist buffer.
+	arpFlag   bool
+	arpBuffer []arpEntry
+	arpDrain  engine.Time // completion horizon of the last drained epoch
+	arpEpoch  uint32      // ARP epoch id (advances at flagged acquires)
+}
+
+// System is the assembled machine.
+type System struct {
+	cfg     Config
+	mem     *mm.Memory
+	nvm     *nvm.Subsystem
+	tracker *model.Tracker
+
+	l1s []*cache.L1
+	llc *cache.LLC
+	dir *cache.Directory
+
+	llcSrv *engine.ServerBank
+
+	// lineBlocked implements the directory's transient blocking state
+	// (Invariant I4): requests to a line wait until its in-flight
+	// persist acks.
+	lineBlocked map[isa.Addr]engine.Time
+
+	// llcStamps holds happens-before stamps for dirty data that moved to
+	// the LLC without persisting (NOP only); they persist when the LLC
+	// evicts the line to NVM.
+	llcStamps map[isa.Addr][]model.Stamp
+
+	threads []*thread
+	mech    mechanism
+
+	staticArena *mm.Arena
+
+	stats Stats
+}
+
+// New builds a machine from the configuration.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nvmCfg := cfg.NVM
+	nvmCfg.LogEvents = cfg.TrackHB || nvmCfg.LogEvents
+	s := &System{
+		cfg:         cfg,
+		mem:         mm.NewMemory(),
+		nvm:         nvm.New(nvmCfg),
+		llc:         cache.NewLLC(cfg.LLCSize, cfg.LLCWays, cfg.LLCBanks),
+		dir:         cache.NewDirectory(cfg.Cores),
+		llcSrv:      engine.NewServerBank(cfg.LLCBanks),
+		lineBlocked: make(map[isa.Addr]engine.Time),
+		llcStamps:   make(map[isa.Addr][]model.Stamp),
+		staticArena: mm.StaticArena(),
+	}
+	if cfg.TrackHB {
+		s.tracker = model.NewTracker(cfg.Cores)
+	}
+	s.l1s = make([]*cache.L1, cfg.Cores)
+	s.threads = make([]*thread, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		s.l1s[i] = cache.NewL1(cfg.L1Size, cfg.L1Ways)
+		s.threads[i] = &thread{
+			id:     i,
+			arena:  mm.ThreadArena(i),
+			rng:    engine.NewRand(uint64(i) * 0x9e37),
+			epochs: persist.NewEpochCounter(cfg.EpochBits),
+			ret:    persist.NewRET(cfg.RETSize, cfg.RETWatermark),
+		}
+	}
+	s.mech = newMechanism(cfg.Mechanism, s)
+	return s, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the machine configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Mem exposes the architectural memory image (current visible values).
+func (s *System) Mem() *mm.Memory { return s.mem }
+
+// NVM exposes the NVM subsystem (persist log, stats).
+func (s *System) NVM() *nvm.Subsystem { return s.nvm }
+
+// Tracker exposes the happens-before tracker (nil unless TrackHB).
+func (s *System) Tracker() *model.Tracker { return s.tracker }
+
+// Stats returns a copy of the run counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// L1 exposes core i's private cache (tests and tooling).
+func (s *System) L1(i int) *cache.L1 { return s.l1s[i] }
+
+// LLC exposes the shared cache.
+func (s *System) LLC() *cache.LLC { return s.llc }
+
+// Time returns the maximum thread clock: the run's execution time.
+func (s *System) Time() engine.Time {
+	var max engine.Time
+	for _, t := range s.threads {
+		if t.clock > max {
+			max = t.clock
+		}
+	}
+	return max
+}
+
+// StaticAlloc reserves nwords in the static region (structure anchors).
+func (s *System) StaticAlloc(nwords int) isa.Addr { return s.staticArena.Alloc(nwords) }
+
+// --- topology & latency helpers ------------------------------------------
+
+func (s *System) coreTile(core int) (int, int) {
+	d := s.cfg.MeshDim
+	return core % d, (core / d) % d
+}
+
+func (s *System) bankTile(bank int) (int, int) {
+	d := s.cfg.MeshDim
+	return bank % d, (bank / d) % d
+}
+
+// netLat is the one-way mesh latency between a core and an LLC bank.
+func (s *System) netLat(core, bank int) engine.Time {
+	cx, cy := s.coreTile(core)
+	bx, by := s.bankTile(bank)
+	dx, dy := cx-bx, cy-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return engine.Time(dx+dy) * s.cfg.HopLat
+}
+
+// --- persist plumbing ------------------------------------------------------
+
+// persistL1Line issues the persist of an L1 line's current content: the
+// command reaches a controller at wall time now, may not start before
+// earliest (epoch-ordering hold), hands its stamps to the persist log,
+// clears the line's persistency metadata, and returns the ack time.
+// critical classifies the persist for the Figure 6 accounting.
+func (s *System) persistL1Line(l *cache.Line, now, earliest engine.Time, critical bool) engine.Time {
+	words := s.mem.ReadLine(l.Addr)
+	done := s.nvm.PersistLine(now, earliest, l.Addr, words)
+	if dbgLine != 0 && l.Addr == dbgLine {
+		fmt.Printf("DBG persistL1Line addr=%v now=%v earliest=%v done=%v stamps=%v rel=%v minEpoch=%d\n", l.Addr, now, earliest, done, l.Stamps, l.Release, l.MinEpoch)
+	}
+	if s.tracker != nil {
+		for _, st := range l.Stamps {
+			s.tracker.SetPersisted(st, done)
+		}
+	}
+	l.ClearPersistMeta()
+	l.FlushedUntil = int64(done)
+	s.stats.Persists++
+	if critical {
+		s.stats.CriticalPersists++
+	}
+	return done
+}
+
+// persistAddr persists the current content of an arbitrary line address
+// (LLC eviction under NOP, ARP buffer drains) with optional stamps.
+func (s *System) persistAddr(addr isa.Addr, stamps []model.Stamp, now, earliest engine.Time, critical bool) engine.Time {
+	words := s.mem.ReadLine(addr)
+	done := s.nvm.PersistLine(now, earliest, addr, words)
+	if s.tracker != nil {
+		for _, st := range stamps {
+			s.tracker.SetPersisted(st, done)
+		}
+	}
+	s.stats.Persists++
+	if critical {
+		s.stats.CriticalPersists++
+	}
+	return done
+}
+
+// blockLine records that the directory must hold requests to line until
+// time t (Invariant I4 and §5.2.3's PutM transient state).
+func (s *System) blockLine(line isa.Addr, t engine.Time) {
+	if cur, ok := s.lineBlocked[line]; !ok || t > cur {
+		s.lineBlocked[line] = t
+	}
+}
+
+func (s *System) lineAvailable(line isa.Addr, now engine.Time) engine.Time {
+	if t, ok := s.lineBlocked[line]; ok && t > now {
+		return t
+	}
+	return now
+}
+
+// stall accounts cycles a core spent blocked on persistency actions.
+func (s *System) stall(from, to engine.Time) {
+	if to > from {
+		s.stats.StallCycles += uint64(to - from)
+	}
+}
+
+// dbgLine enables persist tracing for one line address (debug builds).
+var dbgLine isa.Addr
+
+// SetDebugLine enables persist tracing for a line (tests/tools only).
+func SetDebugLine(a isa.Addr) { dbgLine = a.Line() }
+
+func (s *System) String() string {
+	return fmt.Sprintf("memsys: %d cores, %s, %s NVM", s.cfg.Cores, s.cfg.Mechanism, s.nvm.Mode())
+}

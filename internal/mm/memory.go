@@ -1,0 +1,99 @@
+// Package mm provides the simulated physical memory that the machine
+// model operates on: a sparse, paged, word-addressable store used for
+// both the architectural (visible) image and the persisted (NVM) image,
+// plus the arena allocator from which simulated programs carve their
+// nodes.
+//
+// Keeping memory content inside the simulator — rather than using native
+// Go objects for data-structure nodes — is what makes crash simulation
+// meaningful: after a simulated crash, recovery code is given only the
+// persisted image and must rebuild the structure from raw words, exactly
+// as a real post-crash process would from NVM.
+package mm
+
+import (
+	"fmt"
+
+	"lrp/internal/isa"
+)
+
+// pageShift selects 4KiB pages (512 words).
+const pageShift = 12
+const pageWords = 1 << (pageShift - 3)
+
+type page [pageWords]uint64
+
+// Memory is a sparse word-addressable store. The zero value is an empty
+// memory in which every word reads as zero. Memory is not safe for
+// concurrent use; the simulator is single-threaded by construction.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) pageFor(a isa.Addr, create bool) *page {
+	pn := uint64(a) >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Read returns the word at a (zero if never written).
+func (m *Memory) Read(a isa.Addr) uint64 {
+	if !a.Aligned() {
+		panic(fmt.Sprintf("mm: unaligned read at %v", a))
+	}
+	p := m.pageFor(a, false)
+	if p == nil {
+		return 0
+	}
+	return p[(uint64(a)>>3)&(pageWords-1)]
+}
+
+// Write stores v at a.
+func (m *Memory) Write(a isa.Addr, v uint64) {
+	if !a.Aligned() {
+		panic(fmt.Sprintf("mm: unaligned write at %v", a))
+	}
+	p := m.pageFor(a, true)
+	p[(uint64(a)>>3)&(pageWords-1)] = v
+}
+
+// ReadLine copies the cache line containing a into a word array.
+func (m *Memory) ReadLine(a isa.Addr) [isa.WordsPerLine]uint64 {
+	var out [isa.WordsPerLine]uint64
+	base := a.Line()
+	for i := 0; i < isa.WordsPerLine; i++ {
+		out[i] = m.Read(base + isa.Addr(i*isa.WordSize))
+	}
+	return out
+}
+
+// WriteLine stores a full cache line at the line containing a.
+func (m *Memory) WriteLine(a isa.Addr, words [isa.WordsPerLine]uint64) {
+	base := a.Line()
+	for i := 0; i < isa.WordsPerLine; i++ {
+		m.Write(base+isa.Addr(i*isa.WordSize), words[i])
+	}
+}
+
+// Pages reports how many pages have been materialized.
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Clone returns a deep copy of the memory. Crash snapshots use this to
+// freeze the NVM image at the crash instant.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for pn, p := range m.pages {
+		cp := *p
+		c.pages[pn] = &cp
+	}
+	return c
+}

@@ -1,0 +1,195 @@
+package mm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lrp/internal/isa"
+)
+
+func TestMemoryZeroDefault(t *testing.T) {
+	m := NewMemory()
+	if m.Read(0x1000) != 0 {
+		t.Fatal("unwritten word should read zero")
+	}
+	if m.Pages() != 0 {
+		t.Fatal("read must not materialize pages")
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory()
+	m.Write(0x1000, 42)
+	m.Write(0x1008, 43)
+	if m.Read(0x1000) != 42 || m.Read(0x1008) != 43 {
+		t.Fatal("read-back mismatch")
+	}
+	m.Write(0x1000, 7)
+	if m.Read(0x1000) != 7 {
+		t.Fatal("overwrite failed")
+	}
+	if m.Pages() != 1 {
+		t.Fatalf("expected 1 page, got %d", m.Pages())
+	}
+}
+
+func TestMemoryUnalignedPanics(t *testing.T) {
+	m := NewMemory()
+	for _, f := range []func(){
+		func() { m.Read(0x1001) },
+		func() { m.Write(0x1001, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on unaligned access")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMemoryLineOps(t *testing.T) {
+	m := NewMemory()
+	var words [isa.WordsPerLine]uint64
+	for i := range words {
+		words[i] = uint64(i * 100)
+	}
+	m.WriteLine(0x2040, words)
+	got := m.ReadLine(0x2040 + 8) // any address within the line
+	if got != words {
+		t.Fatalf("line round-trip mismatch: %v != %v", got, words)
+	}
+	// Individual words visible too.
+	if m.Read(0x2040+16) != 200 {
+		t.Fatal("word within written line wrong")
+	}
+}
+
+// Property: words written at distinct aligned addresses are all readable
+// back, including across page boundaries.
+func TestMemoryRoundTripProperty(t *testing.T) {
+	f := func(offsets []uint16, vals []uint64) bool {
+		m := NewMemory()
+		want := map[isa.Addr]uint64{}
+		for i, off := range offsets {
+			if i >= len(vals) {
+				break
+			}
+			a := isa.Addr(uint64(off) * 8)
+			m.Write(a, vals[i])
+			want[a] = vals[i]
+		}
+		for a, v := range want {
+			if m.Read(a) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryClone(t *testing.T) {
+	m := NewMemory()
+	m.Write(0x1000, 1)
+	c := m.Clone()
+	m.Write(0x1000, 2)
+	m.Write(0x9000, 3)
+	if c.Read(0x1000) != 1 {
+		t.Fatal("clone not isolated from later writes")
+	}
+	if c.Read(0x9000) != 0 {
+		t.Fatal("clone saw post-clone page")
+	}
+}
+
+func TestArenaAlloc(t *testing.T) {
+	a := NewArena(0x10000, 1<<20)
+	p1 := a.Alloc(3) // 3 words -> one line
+	p2 := a.Alloc(8) // exactly one line
+	p3 := a.Alloc(9) // two lines
+	p4 := a.Alloc(1)
+	if p1%isa.LineSize != 0 || p2%isa.LineSize != 0 || p3%isa.LineSize != 0 {
+		t.Fatal("allocations must be line-aligned")
+	}
+	if p2 != p1+isa.LineSize {
+		t.Fatalf("p2 = %v, want %v", p2, p1+isa.LineSize)
+	}
+	if p3 != p2+isa.LineSize {
+		t.Fatalf("p3 = %v, want %v", p3, p2+isa.LineSize)
+	}
+	if p4 != p3+2*isa.LineSize {
+		t.Fatalf("p4 = %v, want %v", p4, p3+2*isa.LineSize)
+	}
+	if a.Allocs() != 4 {
+		t.Fatalf("Allocs = %d", a.Allocs())
+	}
+	if a.Used() != 5*isa.LineSize {
+		t.Fatalf("Used = %d", a.Used())
+	}
+}
+
+func TestArenaExhaustion(t *testing.T) {
+	a := NewArena(0x10000, 128) // two lines
+	a.Alloc(8)
+	a.Alloc(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected exhaustion panic")
+		}
+	}()
+	a.Alloc(1)
+}
+
+func TestArenaBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive alloc")
+		}
+	}()
+	NewArena(0x10000, 1024).Alloc(0)
+}
+
+func TestThreadArenasDisjoint(t *testing.T) {
+	a0 := ThreadArena(0)
+	a1 := ThreadArena(1)
+	p0 := a0.Alloc(4)
+	p1 := a1.Alloc(4)
+	if a0.Contains(p1) || a1.Contains(p0) {
+		t.Fatal("thread arenas overlap")
+	}
+	// Static region is disjoint from all thread arenas.
+	s := StaticArena()
+	ps := s.Alloc(4)
+	if a0.Contains(ps) {
+		t.Fatal("static region overlaps arena 0")
+	}
+}
+
+// Property: allocations from one arena never overlap, at line granularity.
+func TestArenaDisjointProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		a := NewArena(0x100000, 16<<20)
+		seen := map[isa.Addr]bool{}
+		for _, s := range sizes {
+			n := int(s%32) + 1
+			p := a.Alloc(n)
+			lines := (n*isa.WordSize + isa.LineSize - 1) / isa.LineSize
+			for l := 0; l < lines; l++ {
+				line := p.Line() + isa.Addr(l*isa.LineSize)
+				if seen[line] {
+					return false
+				}
+				seen[line] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+package model
+
+import (
+	"fmt"
+
+	"lrp/internal/engine"
+)
+
+// Semantics selects which persistency model's ordering rules the cut
+// checker enforces.
+type Semantics int
+
+const (
+	// RP checks the paper's Release Persistency (§4.1): the persisted
+	// set must be downward closed under the full RC happens-before.
+	RP Semantics = iota
+	// ARP checks only the ARP-rule of Kolli et al. (§3.1): writes before
+	// a release persist before writes after the matching acquire — but a
+	// release may persist before its own preceding writes. An execution
+	// can satisfy ARP while leaving an unrecoverable structure in NVM;
+	// that gap is the paper's motivating observation.
+	ARP Semantics = iota
+)
+
+func (s Semantics) String() string {
+	switch s {
+	case RP:
+		return "RP"
+	case ARP:
+		return "ARP"
+	default:
+		return fmt.Sprintf("Semantics(%d)", int(s))
+	}
+}
+
+// Violation reports one persisted write whose happens-before predecessor
+// had not persisted at the crash instant — i.e., the NVM image is not a
+// consistent cut.
+type Violation struct {
+	// Write is the persisted write.
+	Write Stamp
+	// Missing is an unpersisted predecessor of Write.
+	Missing Stamp
+	// Rule names the violated ordering rule.
+	Rule string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s persisted but its %s predecessor %s did not", v.Write, v.Rule, v.Missing)
+}
+
+// CheckCut verifies that the set of writes persisted by time crash forms
+// a consistent cut under the given semantics. It returns all violations
+// found (nil means the cut is consistent). The check is exact for the
+// paper's RC model: it reports a violation iff some persisted write has
+// an unpersisted happens-before predecessor.
+func (tr *Tracker) CheckCut(crash engine.Time, sem Semantics) []Violation {
+	n := len(tr.threads)
+	persisted := func(tid int, seq uint64) bool {
+		return tr.threads[tid].writes[seq-1].persistedAt <= crash
+	}
+	// prefix[t] = largest p such that writes 1..p of thread t all
+	// persisted by the crash.
+	prefix := make([]uint64, n)
+	for t := range tr.threads {
+		ts := &tr.threads[t]
+		var p uint64
+		for p < ts.seq && ts.writes[p].persistedAt <= crash {
+			p++
+		}
+		prefix[t] = p
+	}
+
+	var out []Violation
+	for i := range tr.threads {
+		ts := &tr.threads[i]
+		for s := uint64(1); s <= ts.seq; s++ {
+			rec := &ts.writes[s-1]
+			if rec.persistedAt > crash {
+				continue
+			}
+			w := Stamp{i, s}
+			// Rule: program order into a release — every earlier write of
+			// the releasing thread precedes the release. RP only.
+			if sem == RP && rec.relIdx != 0 && prefix[i] < s-1 {
+				out = append(out, Violation{
+					Write:   w,
+					Missing: Stamp{i, prefix[i] + 1},
+					Rule:    "po-before-release",
+				})
+			}
+			// Rule: same-address program order. Both semantics (writes to
+			// one address coalesce in order in every implementation).
+			if rec.prevSameAddr != 0 && !persisted(i, rec.prevSameAddr) {
+				out = append(out, Violation{
+					Write:   w,
+					Missing: Stamp{i, rec.prevSameAddr},
+					Rule:    "same-address-po",
+				})
+			}
+			// Cross-thread rules via the acquire clock.
+			for t := 0; t < n; t++ {
+				k := rec.acq.Get(t)
+				if k == 0 {
+					continue
+				}
+				relSeq := tr.threads[t].relSeq[k-1]
+				// Under RP the acquired release and everything before it
+				// must have persisted. Under ARP only the writes strictly
+				// before the release are ordered; the release itself may
+				// trail.
+				need := relSeq
+				if sem == ARP {
+					need = relSeq - 1
+				}
+				if prefix[t] < need {
+					out = append(out, Violation{
+						Write:   w,
+						Missing: Stamp{t, prefix[t] + 1},
+						Rule:    fmt.Sprintf("acquired-release(%s)", sem),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PersistedCount reports how many writes had persisted by time crash,
+// and how many writes were issued in total.
+func (tr *Tracker) PersistedCount(crash engine.Time) (persisted, total uint64) {
+	for t := range tr.threads {
+		ts := &tr.threads[t]
+		total += ts.seq
+		for s := range ts.writes {
+			if ts.writes[s].persistedAt <= crash {
+				persisted++
+			}
+		}
+	}
+	return persisted, total
+}
+
+// HappensBefore reports whether write a happens-before write b under the
+// paper's RC rules (exposed for tests and tooling). It answers from the
+// same metadata the checker uses.
+func (tr *Tracker) HappensBefore(a, b Stamp) bool {
+	if a.Tid == b.Tid {
+		if a.Seq >= b.Seq {
+			return false
+		}
+		recB := &tr.threads[b.Tid].writes[b.Seq-1]
+		// po into own release: every earlier write precedes a release.
+		if recB.relIdx != 0 {
+			return true
+		}
+		// same-address chain back from b.
+		for s := recB.prevSameAddr; s != 0; {
+			if s == a.Seq {
+				return true
+			}
+			s = tr.threads[b.Tid].writes[s-1].prevSameAddr
+		}
+	}
+	// cross-thread (or same-thread through a re-acquired release): a must
+	// precede some release of a.Tid whose index b's clock covers.
+	recB := &tr.threads[b.Tid].writes[b.Seq-1]
+	k := recB.acq.Get(a.Tid)
+	if k == 0 {
+		return false
+	}
+	return a.Seq <= tr.threads[a.Tid].relSeq[k-1]
+}

@@ -1,0 +1,193 @@
+// Package nvm models the non-volatile memory subsystem: multiple NVM
+// controllers that serialize persists (bandwidth contention), the two
+// Optane-derived latency modes the paper evaluates (Table 1: cached mode
+// 120 cycles — persists complete at a battery-backed NVM-side DRAM cache
+// — and uncached mode 350 cycles), and a persist event log from which the
+// exact NVM image at any crash instant can be reconstructed.
+package nvm
+
+import (
+	"sort"
+
+	"lrp/internal/engine"
+	"lrp/internal/isa"
+	"lrp/internal/mm"
+)
+
+// Mode selects the NVM-side DRAM cache behaviour.
+type Mode int
+
+const (
+	// Cached: persists complete at the battery-backed DRAM cache in
+	// front of the NVM (the paper's default).
+	Cached Mode = iota
+	// Uncached: persists complete only at the NVM media.
+	Uncached
+)
+
+func (m Mode) String() string {
+	if m == Cached {
+		return "cached"
+	}
+	return "uncached"
+}
+
+// Config sizes the subsystem.
+type Config struct {
+	// Controllers is the number of NVM memory controllers.
+	Controllers int
+	// Mode selects cached/uncached persist latency.
+	Mode Mode
+	// CachedLat and UncachedLat are the per-access completion latencies.
+	CachedLat   engine.Time
+	UncachedLat engine.Time
+	// CachedOcc and UncachedOcc are the per-access controller occupancy
+	// times (the bandwidth term): in cached mode the battery-backed DRAM
+	// cache accepts a line every few cycles; in uncached mode the PCM
+	// media's write bandwidth gates acceptance.
+	CachedOcc   engine.Time
+	UncachedOcc engine.Time
+	// LogEvents enables the persist event log needed for crash-image
+	// reconstruction. Timing-only experiments leave it off.
+	LogEvents bool
+}
+
+// DefaultConfig mirrors Table 1 of the paper.
+func DefaultConfig() Config {
+	return Config{
+		Controllers: 4,
+		Mode:        Cached,
+		CachedLat:   120,
+		UncachedLat: 350,
+		CachedOcc:   16,
+		UncachedOcc: 116,
+	}
+}
+
+// Stats counts NVM subsystem events.
+type Stats struct {
+	// Persists counts line persists issued.
+	Persists uint64
+	// Reads counts line fills served from NVM.
+	Reads uint64
+	// BytesPersisted is Persists * line size.
+	BytesPersisted uint64
+}
+
+// Event is one completed (or in-flight) line persist.
+type Event struct {
+	// Done is when the persist completed at the controller.
+	Done engine.Time
+	// Line is the line base address.
+	Line isa.Addr
+	// Words is the line content captured when the persist was issued.
+	Words [isa.WordsPerLine]uint64
+}
+
+// Subsystem is the set of NVM controllers plus the persist log.
+type Subsystem struct {
+	cfg   Config
+	banks *engine.ServerBank
+	log   []Event
+	stats Stats
+}
+
+// New builds the subsystem.
+func New(cfg Config) *Subsystem {
+	if cfg.Controllers <= 0 {
+		panic("nvm: need at least one controller")
+	}
+	return &Subsystem{cfg: cfg, banks: engine.NewServerBank(cfg.Controllers)}
+}
+
+// Latency returns the per-access completion latency for the current mode.
+func (s *Subsystem) Latency() engine.Time {
+	if s.cfg.Mode == Cached {
+		return s.cfg.CachedLat
+	}
+	return s.cfg.UncachedLat
+}
+
+// Occupancy returns the per-access controller occupancy (bandwidth term)
+// for the current mode; a zero config falls back to full serialization.
+func (s *Subsystem) Occupancy() engine.Time {
+	occ := s.cfg.CachedOcc
+	if s.cfg.Mode == Uncached {
+		occ = s.cfg.UncachedOcc
+	}
+	if occ <= 0 || occ > s.Latency() {
+		return s.Latency()
+	}
+	return occ
+}
+
+// Mode returns the configured latency mode.
+func (s *Subsystem) Mode() Mode { return s.cfg.Mode }
+
+// Stats returns a copy of the counters.
+func (s *Subsystem) Stats() Stats { return s.stats }
+
+func (s *Subsystem) controller(line isa.Addr) *engine.Server {
+	return s.banks.Bank(uint64(line) >> isa.LineShift)
+}
+
+// PersistLine issues a persist of the given line content and returns the
+// completion (ack) time. The command arrives at the controller at time
+// now (consuming a bandwidth slot in arrival order) but may not start
+// before earliestStart — the hold that epoch-ordered persist chains
+// impose. Content is captured by value at issue; the controller applies
+// it to the durable image at completion.
+func (s *Subsystem) PersistLine(now, earliestStart engine.Time, line isa.Addr, words [isa.WordsPerLine]uint64) engine.Time {
+	line = line.Line()
+	if earliestStart < now {
+		earliestStart = now
+	}
+	done := s.controller(line).ServeConstrained(now, earliestStart, s.Latency(), s.Occupancy())
+	s.stats.Persists++
+	s.stats.BytesPersisted += isa.LineSize
+	if s.cfg.LogEvents {
+		s.log = append(s.log, Event{Done: done, Line: line, Words: words})
+	}
+	return done
+}
+
+// ReadLine books a line fill from NVM at time now and returns the time
+// the data is available. Reads contend with persists at the controller.
+func (s *Subsystem) ReadLine(now engine.Time, line isa.Addr) engine.Time {
+	done := s.controller(line.Line()).ServePipelined(now, s.Latency(), s.Occupancy())
+	s.stats.Reads++
+	return done
+}
+
+// Events returns the persist log (nil unless LogEvents was set).
+func (s *Subsystem) Events() []Event { return s.log }
+
+// ImageAt reconstructs the durable memory image as of time crash: all
+// persists with Done ≤ crash applied in completion order over base (the
+// memory contents that existed before the measured run; may be nil for an
+// all-zero initial image).
+func (s *Subsystem) ImageAt(crash engine.Time, base *mm.Memory) *mm.Memory {
+	var img *mm.Memory
+	if base != nil {
+		img = base.Clone()
+	} else {
+		img = mm.NewMemory()
+	}
+	// Sort a copy by completion time; ties resolved by log order, which
+	// matches per-controller FIFO order for same-line events.
+	evs := make([]Event, len(s.log))
+	copy(evs, s.log)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Done < evs[j].Done })
+	for _, e := range evs {
+		if e.Done > crash {
+			break
+		}
+		img.WriteLine(e.Line, e.Words)
+	}
+	return img
+}
+
+// FinalImage reconstructs the durable image after all logged persists.
+func (s *Subsystem) FinalImage(base *mm.Memory) *mm.Memory {
+	return s.ImageAt(engine.Infinity, base)
+}

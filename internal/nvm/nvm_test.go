@@ -1,0 +1,175 @@
+package nvm
+
+import (
+	"testing"
+
+	"lrp/internal/engine"
+	"lrp/internal/isa"
+	"lrp/internal/mm"
+)
+
+func words(v uint64) [isa.WordsPerLine]uint64 {
+	var w [isa.WordsPerLine]uint64
+	for i := range w {
+		w[i] = v
+	}
+	return w
+}
+
+func TestLatencyModes(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	if c.Latency() != 120 || c.Mode() != Cached {
+		t.Fatalf("cached latency = %v", c.Latency())
+	}
+	cfg.Mode = Uncached
+	u := New(cfg)
+	if u.Latency() != 350 || u.Mode() != Uncached {
+		t.Fatalf("uncached latency = %v", u.Latency())
+	}
+	if Cached.String() != "cached" || Uncached.String() != "uncached" {
+		t.Fatal("Mode strings")
+	}
+}
+
+func TestPersistTiming(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Controllers = 1
+	s := New(cfg)
+	d1 := s.PersistLine(0, 0, 0x1000, words(1))
+	if d1 != 120 {
+		t.Fatalf("first persist done at %v", d1)
+	}
+	// Second persist to the same controller waits for the first's
+	// occupancy slot (16 cycles), then completes a full latency later:
+	// the controller pipelines but does not reorder.
+	d2 := s.PersistLine(10, 10, 0x2000, words(2))
+	if d2 != 136 {
+		t.Fatalf("queued persist done at %v", d2)
+	}
+	// A persist held by an ordering constraint completes later still.
+	d3 := s.PersistLine(20, 500, 0x3000, words(3))
+	if d3 != 620 {
+		t.Fatalf("constrained persist done at %v", d3)
+	}
+	st := s.Stats()
+	if st.Persists != 3 || st.BytesPersisted != 3*isa.LineSize {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestControllersParallel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Controllers = 2
+	s := New(cfg)
+	// Lines 0 and 1 map to different controllers.
+	d1 := s.PersistLine(0, 0, isa.Addr(0*isa.LineSize), words(1))
+	d2 := s.PersistLine(0, 0, isa.Addr(1*isa.LineSize), words(2))
+	if d1 != 120 || d2 != 120 {
+		t.Fatalf("parallel persists: %v %v", d1, d2)
+	}
+}
+
+func TestReadsContendWithPersists(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Controllers = 1
+	s := New(cfg)
+	s.PersistLine(0, 0, 0x1000, words(1))
+	if done := s.ReadLine(0, 0x4000); done != 136 {
+		t.Fatalf("read behind persist done at %v", done)
+	}
+	if s.Stats().Reads != 1 {
+		t.Fatal("read not counted")
+	}
+}
+
+func TestImageAt(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Controllers = 1
+	cfg.LogEvents = true
+	s := New(cfg)
+	lineA := isa.Addr(0x1000)
+	d1 := s.PersistLine(0, 0, lineA, words(1))     // done at 120
+	d2 := s.PersistLine(200, 200, lineA, words(2)) // done at 320
+	if d1 != 120 || d2 != 320 {
+		t.Fatalf("unexpected times %v %v", d1, d2)
+	}
+	// Before the first completes: nothing.
+	if img := s.ImageAt(119, nil); img.Read(lineA) != 0 {
+		t.Fatal("image too eager")
+	}
+	// Between: first content only.
+	if img := s.ImageAt(120, nil); img.Read(lineA) != 1 {
+		t.Fatal("first persist missing at its completion time")
+	}
+	if img := s.ImageAt(319, nil); img.Read(lineA+8) != 1 {
+		t.Fatal("image should still hold first content")
+	}
+	// After both: second content.
+	if img := s.FinalImage(nil); img.Read(lineA) != 2 {
+		t.Fatal("final image wrong")
+	}
+}
+
+func TestImageAtWithBase(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LogEvents = true
+	s := New(cfg)
+	base := mm.NewMemory()
+	base.Write(0x9000, 77)
+	img := s.ImageAt(0, base)
+	if img.Read(0x9000) != 77 {
+		t.Fatal("base contents lost")
+	}
+	// Base must not be mutated by later persists.
+	s.PersistLine(0, 0, 0x9000, words(5))
+	img2 := s.FinalImage(base)
+	if img2.Read(0x9000) != 5 || base.Read(0x9000) != 77 {
+		t.Fatal("base aliased or persist not applied")
+	}
+}
+
+func TestEventsNilWithoutLogging(t *testing.T) {
+	s := New(DefaultConfig())
+	s.PersistLine(0, 0, 0x1000, words(1))
+	if s.Events() != nil {
+		t.Fatal("log should be disabled by default")
+	}
+}
+
+func TestImageOrderStableAtTies(t *testing.T) {
+	// Two persists of the same line completing at identical times (two
+	// different issue points, same controller cannot tie; simulate via
+	// separate controllers is impossible for one line) — same-line
+	// persists always serialize, so later-issued content must win.
+	cfg := DefaultConfig()
+	cfg.Controllers = 1
+	cfg.LogEvents = true
+	s := New(cfg)
+	s.PersistLine(0, 0, 0x1000, words(1))
+	s.PersistLine(0, 0, 0x1000, words(2))
+	if img := s.FinalImage(nil); img.Read(0x1000) != 2 {
+		t.Fatal("same-line persist order violated")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Controllers: 0})
+}
+
+func TestPersistAlignsToLine(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LogEvents = true
+	s := New(cfg)
+	s.PersistLine(0, 0, 0x1008, words(3)) // mid-line address
+	img := s.FinalImage(nil)
+	if img.Read(0x1000) != 3 || img.Read(0x1038) != 3 {
+		t.Fatal("persist did not cover the whole line")
+	}
+	_ = engine.Time(0)
+}

@@ -1,0 +1,43 @@
+package persist
+
+import "fmt"
+
+// EpochCounter is a per-hardware-thread epoch-id counter with a bounded
+// width, as the paper's hardware budget prescribes (8-bit epochs). When
+// the counter would wrap, the mechanism must persist every
+// not-yet-persisted L1 line and restart the epochs (§5.2.1, "Hardware
+// Overhead").
+type EpochCounter struct {
+	bits    uint
+	current uint32
+}
+
+// NewEpochCounter builds a counter of the given bit width (1..32).
+func NewEpochCounter(bits uint) *EpochCounter {
+	if bits == 0 || bits > 32 {
+		panic(fmt.Sprintf("persist: bad epoch width %d", bits))
+	}
+	return &EpochCounter{bits: bits}
+}
+
+// Current returns the current epoch id.
+func (c *EpochCounter) Current() uint32 { return c.current }
+
+// Max returns the largest representable epoch id.
+func (c *EpochCounter) Max() uint32 { return 1<<c.bits - 1 }
+
+// Advance moves to the next epoch (a release executed). It reports
+// whether the counter overflowed; on overflow the counter restarts at 1
+// and the caller must flush all buffered persist state, because line
+// min-epoch tags from before the restart are no longer comparable.
+func (c *EpochCounter) Advance() (epoch uint32, overflowed bool) {
+	if c.current == c.Max() {
+		c.current = 1
+		return 1, true
+	}
+	c.current++
+	return c.current, false
+}
+
+// Reset restarts the counter at zero (used by whole-run resets in tests).
+func (c *EpochCounter) Reset() { c.current = 0 }

@@ -1,0 +1,65 @@
+// Package persist provides the persistency-enforcement building blocks of
+// the paper's microarchitecture: the Release Epoch Table (RET), per-thread
+// epoch counters with overflow handling, and the persist-engine scheduling
+// algorithm that orders a scan's discovered cache lines (only-written
+// lines first, then released lines in epoch order — §5.2.2).
+//
+// The mechanisms themselves (NOP, SB, BB, ARP, LRP) are protocol glue and
+// live in package memsys next to the coherence protocol; they are
+// assembled from the primitives defined here.
+package persist
+
+import "fmt"
+
+// Kind names a persistency enforcement approach (§6.2 comparison points).
+type Kind int
+
+const (
+	// NOP is volatile execution: no persistency guarantees.
+	NOP Kind = iota
+	// SB enforces RP with strict full barriers around every release.
+	SB
+	// BB enforces RP with the state-of-the-art buffered full barrier
+	// (epoch tags + proactive flushing; Joshi et al., MICRO'15).
+	BB
+	// ARP is the acquire-release persistency of Kolli et al. (ISCA'17):
+	// one-sided, persist-buffer-based — and, as the paper shows, too
+	// weak to recover a log-free data structure.
+	ARP
+	// LRP is the paper's lazy release persistency mechanism.
+	LRP
+)
+
+// Kinds lists all mechanisms in presentation order.
+var Kinds = []Kind{NOP, SB, BB, ARP, LRP}
+
+func (k Kind) String() string {
+	switch k {
+	case NOP:
+		return "NOP"
+	case SB:
+		return "SB"
+	case BB:
+		return "BB"
+	case ARP:
+		return "ARP"
+	case LRP:
+		return "LRP"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a mechanism name (as printed by String) to a Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("persist: unknown mechanism %q", s)
+}
+
+// EnforcesRP reports whether the mechanism guarantees the consistent-cut
+// property required for null recovery.
+func (k Kind) EnforcesRP() bool { return k == SB || k == BB || k == LRP }

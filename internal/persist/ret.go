@@ -1,0 +1,108 @@
+package persist
+
+import (
+	"fmt"
+
+	"lrp/internal/isa"
+)
+
+// RETEntry associates a released cache line with its release epoch.
+type RETEntry struct {
+	Line  isa.Addr
+	Epoch uint32
+}
+
+// RET is the Release Epoch Table (§5.2.1): a small content-addressable
+// table holding the release epoch of every L1 line that currently holds a
+// not-yet-persisted release. The paper provisions 32 entries per L1 and
+// triggers the persist of the oldest release when occupancy reaches a
+// watermark, so the table can never fill.
+type RET struct {
+	capacity  int
+	watermark int
+	// entries in insertion order; the front is the oldest release.
+	entries []RETEntry
+}
+
+// NewRET builds a table with the given capacity and watermark. The
+// watermark must be in (0, capacity].
+func NewRET(capacity, watermark int) *RET {
+	if capacity <= 0 || watermark <= 0 || watermark > capacity {
+		panic(fmt.Sprintf("persist: bad RET geometry cap=%d watermark=%d", capacity, watermark))
+	}
+	return &RET{capacity: capacity, watermark: watermark}
+}
+
+// Len reports current occupancy.
+func (r *RET) Len() int { return len(r.entries) }
+
+// Cap reports capacity.
+func (r *RET) Cap() int { return r.capacity }
+
+// AtWatermark reports whether occupancy has reached the persist-trigger
+// watermark; the caller must persist (and Remove) the Oldest entry before
+// inserting more.
+func (r *RET) AtWatermark() bool { return len(r.entries) >= r.watermark }
+
+// Add allocates an entry for a released line. A line can hold at most one
+// unpersisted release (a second release to the same line first persists
+// the previous one), so Add panics on duplicates — that indicates a
+// mechanism bug, not a program error.
+func (r *RET) Add(line isa.Addr, epoch uint32) {
+	if len(r.entries) >= r.capacity {
+		panic("persist: RET overflow — watermark not honored")
+	}
+	for _, e := range r.entries {
+		if e.Line == line {
+			panic(fmt.Sprintf("persist: duplicate RET entry for %v", line))
+		}
+	}
+	r.entries = append(r.entries, RETEntry{Line: line, Epoch: epoch})
+}
+
+// Lookup returns the release epoch recorded for a line.
+func (r *RET) Lookup(line isa.Addr) (uint32, bool) {
+	for _, e := range r.entries {
+		if e.Line == line {
+			return e.Epoch, true
+		}
+	}
+	return 0, false
+}
+
+// Remove squashes the entry for a line (the release persisted). It
+// reports whether an entry existed.
+func (r *RET) Remove(line isa.Addr) bool {
+	for i, e := range r.entries {
+		if e.Line == line {
+			r.entries = append(r.entries[:i], r.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Oldest returns the entry with the smallest epoch (the first-inserted on
+// ties, which is also insertion order since epochs are monotonic).
+func (r *RET) Oldest() (RETEntry, bool) {
+	if len(r.entries) == 0 {
+		return RETEntry{}, false
+	}
+	best := r.entries[0]
+	for _, e := range r.entries[1:] {
+		if e.Epoch < best.Epoch {
+			best = e
+		}
+	}
+	return best, true
+}
+
+// Entries returns a copy of the table contents in insertion order.
+func (r *RET) Entries() []RETEntry {
+	out := make([]RETEntry, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
+
+// Clear empties the table (epoch overflow flush).
+func (r *RET) Clear() { r.entries = r.entries[:0] }

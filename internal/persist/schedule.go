@@ -1,0 +1,71 @@
+package persist
+
+import (
+	"sort"
+
+	"lrp/internal/isa"
+)
+
+// LineRef describes one L1 line discovered by the persist engine's scan:
+// its address, the epoch of its earliest unpersisted write, and whether
+// it holds an unpersisted release.
+type LineRef struct {
+	Addr     isa.Addr
+	MinEpoch uint32
+	Released bool
+}
+
+// Schedule is the persist engine's output for one triggered persist of a
+// released line (§5.2.2): the only-written lines, which may persist
+// immediately and concurrently, followed by the released lines, which
+// must persist after every scheduled write completes and in ascending
+// epoch order among themselves.
+type Schedule struct {
+	// Writes are the only-written lines, persisted first, in parallel.
+	Writes []LineRef
+	// Releases are the released lines in the order they must persist,
+	// one after the previous completes (epoch order). The triggering
+	// line itself is last.
+	Releases []LineRef
+}
+
+// BuildSchedule implements the persist-engine algorithm. trigger is the
+// released line being persisted (with its release epoch from the RET);
+// scanned is every valid L1 line holding unpersisted writes, typically
+// produced by an L1 scan. Lines with MinEpoch >= the trigger's epoch are
+// outside the release's one-sided barrier and are left alone — that
+// freedom from conflicts is exactly RP's performance edge (§4.2).
+//
+// The returned schedule always ends with the trigger itself.
+func BuildSchedule(trigger LineRef, scanned []LineRef) Schedule {
+	var s Schedule
+	for _, l := range scanned {
+		if l.Addr == trigger.Addr {
+			continue // the trigger is appended explicitly below
+		}
+		if l.MinEpoch >= trigger.MinEpoch {
+			continue // newer or same epoch: not ordered before the release
+		}
+		if l.Released {
+			s.Releases = append(s.Releases, l)
+		} else {
+			s.Writes = append(s.Writes, l)
+		}
+	}
+	// Released lines persist in ascending epoch order; ties (impossible
+	// for distinct releases of one thread, but be deterministic anyway)
+	// break by address.
+	sort.Slice(s.Releases, func(i, j int) bool {
+		if s.Releases[i].MinEpoch != s.Releases[j].MinEpoch {
+			return s.Releases[i].MinEpoch < s.Releases[j].MinEpoch
+		}
+		return s.Releases[i].Addr < s.Releases[j].Addr
+	})
+	// Keep the write order deterministic for reproducible timing.
+	sort.Slice(s.Writes, func(i, j int) bool { return s.Writes[i].Addr < s.Writes[j].Addr })
+	s.Releases = append(s.Releases, trigger)
+	return s
+}
+
+// Total reports how many line persists the schedule will issue.
+func (s Schedule) Total() int { return len(s.Writes) + len(s.Releases) }

@@ -1,0 +1,331 @@
+package recovery
+
+import (
+	"testing"
+
+	"lrp/internal/isa"
+	"lrp/internal/lfds"
+	"lrp/internal/memsys"
+	"lrp/internal/mm"
+	"lrp/internal/persist"
+)
+
+func sys(t *testing.T) *memsys.System {
+	t.Helper()
+	return memsys.MustNew(memsys.TestConfig(2).WithMechanism(persist.LRP))
+}
+
+// populate runs inserts/deletes and returns the expected member set.
+func populate(s *memsys.System, set lfds.Set) map[uint64]uint64 {
+	want := map[uint64]uint64{}
+	s.Run([]memsys.Program{
+		func(c *memsys.Ctx) {
+			for k := uint64(1); k <= 30; k++ {
+				set.Insert(c, k, DefaultVal(k))
+			}
+			for k := uint64(2); k <= 30; k += 3 {
+				set.Delete(c, k)
+			}
+		},
+		func(c *memsys.Ctx) {
+			for k := uint64(31); k <= 60; k++ {
+				set.Insert(c, k, DefaultVal(k))
+			}
+		},
+	})
+	for k := uint64(1); k <= 60; k++ {
+		if k <= 30 && k%3 == 2 {
+			continue
+		}
+		want[k] = DefaultVal(k)
+	}
+	return want
+}
+
+func checkMembers(t *testing.T, got *SetState, want map[uint64]uint64) {
+	t.Helper()
+	if len(got.Members) != len(want) {
+		t.Fatalf("recovered %d members, want %d", len(got.Members), len(want))
+	}
+	for k, v := range want {
+		if got.Members[k] != v {
+			t.Fatalf("key %d: recovered %d want %d", k, got.Members[k], v)
+		}
+	}
+}
+
+func TestWalkListCleanShutdown(t *testing.T) {
+	s := sys(t)
+	l := lfds.NewLinkedList(s)
+	want := populate(s, l)
+	s.Drain()
+	img := s.NVM().FinalImage(nil)
+	st, err := WalkList(img, l.Head())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMembers(t, st, want)
+}
+
+func TestWalkHashMapCleanShutdown(t *testing.T) {
+	s := sys(t)
+	h := lfds.NewHashMap(s, 8)
+	want := populate(s, h)
+	s.Drain()
+	img := s.NVM().FinalImage(nil)
+	base, n := h.Buckets()
+	st, err := WalkHashMap(img, base, n, h.BucketOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMembers(t, st, want)
+}
+
+func TestWalkBSTCleanShutdown(t *testing.T) {
+	s := sys(t)
+	b := lfds.NewBST(s)
+	s.RunOne(func(c *memsys.Ctx) { b.Init(c) })
+	want := populate(s, b)
+	s.Drain()
+	img := s.NVM().FinalImage(nil)
+	st, err := WalkBST(img, b.Root(), lfds.BSTSentinel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMembers(t, st, want)
+}
+
+func TestWalkSkipListCleanShutdown(t *testing.T) {
+	s := sys(t)
+	sl := lfds.NewSkipList(s)
+	want := populate(s, sl)
+	s.Drain()
+	img := s.NVM().FinalImage(nil)
+	st, err := WalkSkipListIndex(img, sl.Head(), lfds.MaxHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMembers(t, st, want)
+	// The bottom-only walker recovers the same membership.
+	st2, err := WalkSkipList(img, sl.Head(), lfds.MaxHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMembers(t, st2, want)
+}
+
+func TestWalkQueueCleanShutdown(t *testing.T) {
+	s := sys(t)
+	q := lfds.NewQueue(s)
+	s.RunOne(func(c *memsys.Ctx) { q.Init(c) })
+	s.Run([]memsys.Program{
+		func(c *memsys.Ctx) {
+			for v := uint64(1); v <= 20; v++ {
+				q.Enqueue(c, v)
+			}
+			q.Dequeue(c)
+			q.Dequeue(c)
+		},
+	})
+	s.Drain()
+	img := s.NVM().FinalImage(nil)
+	head, tail := q.Anchors()
+	st, err := WalkQueue(img, head, tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Values) != 18 {
+		t.Fatalf("recovered %d values, want 18", len(st.Values))
+	}
+	for i, v := range st.Values {
+		if v != uint64(i+3) {
+			t.Fatalf("value[%d] = %d, want %d", i, v, i+3)
+		}
+	}
+}
+
+// Corruption detection on hand-built bad images.
+
+func TestWalkListDetectsGarbageNode(t *testing.T) {
+	img := mm.NewMemory()
+	head := isa.Addr(0x1000)
+	node := isa.Addr(0x2000)
+	img.Write(head, uint64(node))
+	// Node linked but never initialized: the ARP failure mode.
+	if _, err := WalkList(img, head); err == nil {
+		t.Fatal("expected corruption for uninitialized node")
+	}
+	// Now a bad value.
+	img.Write(node+0, 5)
+	img.Write(node+8, 99) // not DefaultVal(5)
+	if _, err := WalkList(img, head); err == nil {
+		t.Fatal("expected corruption for value mismatch")
+	}
+	img.Write(node+8, DefaultVal(5))
+	if _, err := WalkList(img, head); err != nil {
+		t.Fatalf("clean node rejected: %v", err)
+	}
+}
+
+func TestWalkListDetectsOrderViolation(t *testing.T) {
+	img := mm.NewMemory()
+	head := isa.Addr(0x1000)
+	n1, n2 := isa.Addr(0x2000), isa.Addr(0x3000)
+	img.Write(head, uint64(n1))
+	img.Write(n1+0, 9)
+	img.Write(n1+8, DefaultVal(9))
+	img.Write(n1+16, uint64(n2))
+	img.Write(n2+0, 4) // out of order
+	img.Write(n2+8, DefaultVal(4))
+	if _, err := WalkList(img, head); err == nil {
+		t.Fatal("expected order violation")
+	}
+}
+
+func TestWalkListDetectsCycle(t *testing.T) {
+	img := mm.NewMemory()
+	head := isa.Addr(0x1000)
+	n1 := isa.Addr(0x2000)
+	img.Write(head, uint64(n1))
+	img.Write(n1+0, 1)
+	img.Write(n1+8, DefaultVal(1))
+	img.Write(n1+16, uint64(n1)) // self loop — also an order violation
+	if _, err := WalkList(img, head); err == nil {
+		t.Fatal("expected cycle/order detection")
+	}
+}
+
+func TestWalkHashMapDetectsWrongBucket(t *testing.T) {
+	img := mm.NewMemory()
+	buckets := isa.Addr(0x1000)
+	node := isa.Addr(0x2000)
+	img.Write(buckets, uint64(node)) // bucket 0
+	img.Write(node+0, 7)
+	img.Write(node+8, DefaultVal(7))
+	bucketOf := func(k uint64) uint64 { return 1 } // everything hashes to 1
+	if _, err := WalkHashMap(img, buckets, 2, bucketOf); err == nil {
+		t.Fatal("expected wrong-bucket detection")
+	}
+}
+
+func TestWalkBSTDetectsMissingChild(t *testing.T) {
+	img := mm.NewMemory()
+	root := isa.Addr(0x1000)
+	internal := isa.Addr(0x2000)
+	leaf := isa.Addr(0x3000)
+	img.Write(root, uint64(internal))
+	img.Write(internal+0, 10)
+	img.Write(internal+16, uint64(leaf))
+	// right child missing: the internal node's writes only partially
+	// persisted before it was linked.
+	img.Write(leaf+0, 5)
+	img.Write(leaf+8, DefaultVal(5))
+	if _, err := WalkBST(img, root, lfds.BSTSentinel); err == nil {
+		t.Fatal("expected missing-child detection")
+	}
+}
+
+func TestWalkBSTDetectsRouteEscape(t *testing.T) {
+	img := mm.NewMemory()
+	root := isa.Addr(0x1000)
+	internal := isa.Addr(0x2000)
+	l, r := isa.Addr(0x3000), isa.Addr(0x4000)
+	img.Write(root, uint64(internal))
+	img.Write(internal+0, 10)
+	img.Write(internal+16, uint64(l))
+	img.Write(internal+24, uint64(r))
+	img.Write(l+0, 15) // should be < 10
+	img.Write(l+8, DefaultVal(15))
+	img.Write(r+0, 20)
+	img.Write(r+8, DefaultVal(20))
+	if _, err := WalkBST(img, root, lfds.BSTSentinel); err == nil {
+		t.Fatal("expected route-bound detection")
+	}
+}
+
+func TestWalkBSTEmptyImage(t *testing.T) {
+	img := mm.NewMemory()
+	st, err := WalkBST(img, 0x1000, lfds.BSTSentinel)
+	if err != nil || len(st.Members) != 0 {
+		t.Fatalf("empty image: %v %v", st, err)
+	}
+}
+
+func TestWalkSkipListDetectsPhantomIndexNode(t *testing.T) {
+	img := mm.NewMemory()
+	head := isa.Addr(0x1000) // 16-level tower
+	node := isa.Addr(0x2000)
+	// Node linked at level 1 but not level 0.
+	img.Write(head+8, uint64(node))
+	img.Write(node+0, 5)
+	img.Write(node+8, DefaultVal(5))
+	img.Write(node+16, 2) // height 2
+	if _, err := WalkSkipListIndex(img, head, lfds.MaxHeight); err == nil {
+		t.Fatal("expected phantom index node detection")
+	}
+	// The crash-image walker ignores the (volatile) index.
+	if _, err := WalkSkipList(img, head, lfds.MaxHeight); err != nil {
+		t.Fatalf("bottom-only walker should accept: %v", err)
+	}
+}
+
+func TestWalkSkipListDetectsHeightLie(t *testing.T) {
+	img := mm.NewMemory()
+	head := isa.Addr(0x1000)
+	node := isa.Addr(0x2000)
+	img.Write(head, uint64(node))
+	img.Write(head+8, uint64(node))
+	img.Write(node+0, 5)
+	img.Write(node+8, DefaultVal(5))
+	img.Write(node+16, 1) // height 1, yet reachable at level 1
+	if _, err := WalkSkipListIndex(img, head, lfds.MaxHeight); err == nil {
+		t.Fatal("expected height violation detection")
+	}
+}
+
+func TestWalkQueueDetectsUninitializedNode(t *testing.T) {
+	img := mm.NewMemory()
+	head, tail := isa.Addr(0x1000), isa.Addr(0x1008)
+	dummy, n1 := isa.Addr(0x2000), isa.Addr(0x3000)
+	img.Write(head, uint64(dummy))
+	img.Write(tail, uint64(dummy))
+	img.Write(dummy+8, uint64(n1)) // linked but val never persisted
+	if _, err := WalkQueue(img, head, tail); err == nil {
+		t.Fatal("expected uninitialized-node detection")
+	}
+}
+
+func TestWalkQueueTailBeforeHead(t *testing.T) {
+	img := mm.NewMemory()
+	head, tail := isa.Addr(0x1000), isa.Addr(0x1008)
+	img.Write(tail, uint64(0x2000))
+	if _, err := WalkQueue(img, head, tail); err == nil {
+		t.Fatal("expected tail-before-head detection")
+	}
+}
+
+func TestWalkQueueEmptyImage(t *testing.T) {
+	img := mm.NewMemory()
+	st, err := WalkQueue(img, 0x1000, 0x1008)
+	if err != nil || len(st.Values) != 0 {
+		t.Fatalf("empty image: %v %v", st, err)
+	}
+}
+
+func TestWalkQueueUnreachableTail(t *testing.T) {
+	img := mm.NewMemory()
+	head, tail := isa.Addr(0x1000), isa.Addr(0x1008)
+	dummy := isa.Addr(0x2000)
+	img.Write(head, uint64(dummy))
+	img.Write(tail, uint64(0x9000)) // points nowhere in the chain
+	if _, err := WalkQueue(img, head, tail); err == nil {
+		t.Fatal("expected unreachable-tail detection")
+	}
+}
+
+func TestCorruptionError(t *testing.T) {
+	c := Corruption{"linkedlist", 0x2000, "boom"}
+	if c.Error() == "" {
+		t.Fatal("empty error")
+	}
+}

@@ -1,0 +1,91 @@
+// Package stats provides the result-table plumbing shared by the
+// experiment runner, the benchmark harness and the CLI tools: a simple
+// column-aligned table with typed cell helpers matching how the paper
+// reports its figures (normalized execution times, overhead percentages,
+// critical-path percentages).
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of formatted cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes are printed under the table (scaling caveats, parameters).
+	Notes []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; it pads or truncates to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	seps := make([]string, len(t.Header))
+	for i, w := range widths {
+		seps[i] = strings.Repeat("-", w)
+	}
+	line(seps)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Ratio formats v as a normalized ratio ("1.23x").
+func Ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// Pct formats v as a percentage ("12.3%").
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// Count formats an integer count.
+func Count(v uint64) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,48 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFormat(t *testing.T) {
+	tab := NewTable("Fig X", "workload", "SB", "BB", "LRP")
+	tab.AddRow("linkedlist", "1.20x", "1.10x", "1.02x")
+	tab.AddRow("queue", "1.31x", "1.05x", "1.01x")
+	tab.AddNote("threads=%d", 16)
+	out := tab.Format()
+	for _, want := range []string{"Fig X", "workload", "linkedlist", "1.31x", "note: threads=16", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Alignment: all lines up to the notes have equal visual structure.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 2 rows, note
+		t.Fatalf("unexpected line count %d", len(lines))
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("only")
+	out := tab.Format()
+	if !strings.Contains(out, "only") {
+		t.Fatal("row lost")
+	}
+	if len(tab.Rows[0]) != 2 {
+		t.Fatal("row not padded")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Ratio(1.234) != "1.23x" {
+		t.Fatal(Ratio(1.234))
+	}
+	if Pct(12.34) != "12.3%" {
+		t.Fatal(Pct(12.34))
+	}
+	if Count(42) != "42" {
+		t.Fatal(Count(42))
+	}
+}

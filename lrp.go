@@ -1,0 +1,231 @@
+// Package lrp is a simulation-backed reproduction of "Lazy Release
+// Persistency" (Dananjaya, Gavrielatos, Joshi, Nagarajan — ASPLOS 2020):
+// a complete simulated multicore with private L1 caches, a banked NUCA
+// LLC with a full-map MESI directory, and PCM-like NVM, on which five
+// persistency enforcement mechanisms (NOP, SB, BB, ARP, LRP) run five
+// log-free data structures (Harris linked list, Michael hash map,
+// lock-free external BST, lock-free skip list, Michael–Scott queue).
+//
+// The package offers three levels of use:
+//
+//   - Experiments: Fig5/Fig6/Fig7/Fig8/SizeSensitivity regenerate the
+//     paper's figures as formatted tables (see EXPERIMENTS.md for the
+//     paper-vs-measured record).
+//
+//   - Workloads: RunWorkload executes one §6.1-style workload on a
+//     configured machine and reports execution time and persistency
+//     counters.
+//
+//   - Programs: NewMachine plus Machine.Run execute arbitrary simulated
+//     programs against the memory system, with full crash analysis —
+//     Crash reconstructs the exact NVM image at any instant and checks
+//     the consistent-cut criterion that null recovery requires.
+package lrp
+
+import (
+	"fmt"
+
+	"lrp/internal/engine"
+	"lrp/internal/isa"
+	"lrp/internal/lfds"
+	"lrp/internal/memsys"
+	"lrp/internal/mm"
+	"lrp/internal/model"
+	"lrp/internal/persist"
+	"lrp/internal/recovery"
+	"lrp/internal/stats"
+	"lrp/internal/workload"
+)
+
+// Core machine types (aliases into the implementation packages; external
+// code uses them through this package).
+type (
+	// Time is a point in virtual time, in processor cycles.
+	Time = engine.Time
+	// Addr is a simulated physical byte address.
+	Addr = isa.Addr
+	// Ordering is a consistency annotation (Plain/Acquire/Release/AcqRel).
+	Ordering = isa.Ordering
+	// Config describes the simulated machine (Table 1 by default).
+	Config = memsys.Config
+	// Machine is the assembled simulated system.
+	Machine = memsys.System
+	// Ctx is a simulated hardware thread's handle to the machine.
+	Ctx = memsys.Ctx
+	// Program is the body of one simulated thread.
+	Program = memsys.Program
+	// Mechanism names a persistency enforcement approach.
+	Mechanism = persist.Kind
+	// Spec describes one workload run (§6.1 parameters).
+	Spec = workload.Spec
+	// Result is a measured workload window.
+	Result = workload.Result
+	// Violation is one consistent-cut violation found at a crash point.
+	Violation = model.Violation
+	// Set is the common interface of the keyed log-free structures.
+	Set = lfds.Set
+	// Recovered is the logical content rebuilt by null recovery.
+	Recovered = recovery.SetState
+	// RecoveredQueue is the recovered MS-queue content.
+	RecoveredQueue = recovery.QueueState
+	// Image is a durable (or architectural) memory image.
+	Image = mm.Memory
+	// Table is a formatted result table.
+	Table = stats.Table
+)
+
+// Ordering annotations.
+const (
+	Plain   = isa.Plain
+	Acquire = isa.Acquire
+	Release = isa.Release
+	AcqRel  = isa.AcqRel
+)
+
+// The five mechanisms of §6.2.
+const (
+	NOP = persist.NOP
+	SB  = persist.SB
+	BB  = persist.BB
+	ARP = persist.ARP
+	LRP = persist.LRP
+)
+
+// Mechanisms lists all mechanisms in presentation order.
+var Mechanisms = persist.Kinds
+
+// Structures lists the five workloads in the paper's order.
+var Structures = workload.Structures
+
+// DefaultConfig mirrors Table 1 of the paper (64 cores, 32KB L1, 64MB
+// NUCA LLC, PCM at 120/350 cycles, 32-entry RET).
+func DefaultConfig() Config { return memsys.DefaultConfig() }
+
+// ParseMechanism converts "NOP"/"SB"/"BB"/"ARP"/"LRP" to a Mechanism.
+func ParseMechanism(s string) (Mechanism, error) { return persist.ParseKind(s) }
+
+// NewMachine builds a simulated machine. Set cfg.TrackHB to enable crash
+// analysis (happens-before tracking plus the NVM persist event log).
+func NewMachine(cfg Config) (*Machine, error) { return memsys.New(cfg) }
+
+// RunWorkload executes one workload on a fresh machine and returns the
+// measured window plus the machine for further inspection.
+func RunWorkload(cfg Config, spec Spec) (*Result, *Machine, error) {
+	return workload.Run(cfg, spec)
+}
+
+// --- data-structure constructors -------------------------------------------
+
+// NewLinkedList anchors a Harris lock-free sorted linked list.
+func NewLinkedList(m *Machine) *lfds.LinkedList { return lfds.NewLinkedList(m) }
+
+// NewHashMap anchors a Michael lock-free hash table with nbuckets buckets.
+func NewHashMap(m *Machine, nbuckets int) *lfds.HashMap { return lfds.NewHashMap(m, nbuckets) }
+
+// NewBST anchors a lock-free external BST; call Init from a Ctx once.
+func NewBST(m *Machine) *lfds.BST { return lfds.NewBST(m) }
+
+// NewSkipList anchors a lock-free skip list.
+func NewSkipList(m *Machine) *lfds.SkipList { return lfds.NewSkipList(m) }
+
+// NewQueue anchors a Michael–Scott queue; call Init from a Ctx once.
+func NewQueue(m *Machine) *lfds.Queue { return lfds.NewQueue(m) }
+
+// DefaultVal is the value-integrity convention: the value stored with
+// key k is 2k+1; recovery walkers verify it.
+func DefaultVal(key uint64) uint64 { return recovery.DefaultVal(key) }
+
+// --- crash analysis ---------------------------------------------------------
+
+// CrashReport describes the durable state a crash at a given instant
+// would leave, and whether it satisfies the paper's recovery criterion.
+type CrashReport struct {
+	// At is the crash instant.
+	At Time
+	// PersistedWrites and TotalWrites count the execution's writes that
+	// had (respectively, had not yet) reached NVM.
+	PersistedWrites uint64
+	TotalWrites     uint64
+	// RPViolations are consistent-cut violations under Release
+	// Persistency: nonempty means null recovery is not guaranteed.
+	RPViolations []Violation
+	// ARPViolations are violations of the weaker ARP-rule.
+	ARPViolations []Violation
+	// Image is the reconstructed NVM image at the crash instant.
+	Image *Image
+}
+
+// ConsistentCut reports whether the crash state satisfies RP.
+func (r *CrashReport) ConsistentCut() bool { return len(r.RPViolations) == 0 }
+
+// Crash reconstructs the durable state of machine m at instant at. The
+// machine must have been built with cfg.TrackHB = true.
+func Crash(m *Machine, at Time) (*CrashReport, error) {
+	tr := m.Tracker()
+	if tr == nil {
+		return nil, fmt.Errorf("lrp: crash analysis requires Config.TrackHB")
+	}
+	persisted, total := tr.PersistedCount(at)
+	return &CrashReport{
+		At:              at,
+		PersistedWrites: persisted,
+		TotalWrites:     total,
+		RPViolations:    tr.CheckCut(at, model.RP),
+		ARPViolations:   tr.CheckCut(at, model.ARP),
+		Image:           m.NVM().ImageAt(at, nil),
+	}, nil
+}
+
+// FuzzCrashes samples n crash instants uniformly over the machine's
+// execution and reports how many violate RP and how many violate the
+// ARP-rule. It is the tooling behind cmd/lrpcheck.
+func FuzzCrashes(m *Machine, n int, seed uint64) (rpBad, arpBad int, firstRP *CrashReport, err error) {
+	tr := m.Tracker()
+	if tr == nil {
+		return 0, 0, nil, fmt.Errorf("lrp: crash analysis requires Config.TrackHB")
+	}
+	end := m.Time()
+	r := engine.NewRand(seed)
+	for i := 0; i < n; i++ {
+		at := Time(r.Uint64n(uint64(end) + 1))
+		if v := tr.CheckCut(at, model.RP); len(v) > 0 {
+			rpBad++
+			if firstRP == nil {
+				firstRP, _ = Crash(m, at)
+			}
+		}
+		if v := tr.CheckCut(at, model.ARP); len(v) > 0 {
+			arpBad++
+		}
+	}
+	return rpBad, arpBad, firstRP, nil
+}
+
+// --- null recovery ----------------------------------------------------------
+
+// RecoverList walks a linked list in a durable image.
+func RecoverList(img *Image, l *lfds.LinkedList) (*Recovered, error) {
+	return recovery.WalkList(img, l.Head())
+}
+
+// RecoverHashMap walks a hash map in a durable image.
+func RecoverHashMap(img *Image, h *lfds.HashMap) (*Recovered, error) {
+	base, n := h.Buckets()
+	return recovery.WalkHashMap(img, base, n, h.BucketOf)
+}
+
+// RecoverBST walks a BST in a durable image.
+func RecoverBST(img *Image, b *lfds.BST) (*Recovered, error) {
+	return recovery.WalkBST(img, b.Root(), lfds.BSTSentinel)
+}
+
+// RecoverSkipList walks a skip list in a durable image.
+func RecoverSkipList(img *Image, s *lfds.SkipList) (*Recovered, error) {
+	return recovery.WalkSkipList(img, s.Head(), lfds.MaxHeight)
+}
+
+// RecoverQueue walks an MS queue in a durable image.
+func RecoverQueue(img *Image, q *lfds.Queue) (*RecoveredQueue, error) {
+	head, tail := q.Anchors()
+	return recovery.WalkQueue(img, head, tail)
+}

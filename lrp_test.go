@@ -1,0 +1,239 @@
+package lrp
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOpts shrinks the experiments to unit-test scale.
+var tinyOpts = ExperimentOpts{Threads: 2, Ops: 15, SizeScale: 0.01, Seed: 3, Cores: 2}
+
+func tinyConfig(k Mechanism) Config {
+	cfg := DefaultConfig().WithMechanism(k)
+	cfg.Cores = 2
+	cfg.TrackHB = true
+	return cfg
+}
+
+func TestPublicWorkloadRun(t *testing.T) {
+	res, m, err := RunWorkload(tinyConfig(LRP), Spec{
+		Structure: "hashmap", Threads: 2, InitialSize: 64, OpsPerThread: 30, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecTime <= 0 || res.Ops != 60 {
+		t.Fatalf("result: %+v", res)
+	}
+	// Crash analysis through the public API.
+	rep, err := Crash(m, m.Time()/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ConsistentCut() {
+		t.Fatalf("LRP left an inconsistent cut: %v", rep.RPViolations)
+	}
+	if rep.TotalWrites == 0 || rep.Image == nil {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+}
+
+func TestCrashRequiresTracking(t *testing.T) {
+	cfg := tinyConfig(LRP)
+	cfg.TrackHB = false
+	cfg.NVM.LogEvents = false
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Crash(m, 0); err == nil {
+		t.Fatal("expected error without TrackHB")
+	}
+	if _, _, _, err := FuzzCrashes(m, 1, 1); err == nil {
+		t.Fatal("expected error without TrackHB")
+	}
+}
+
+func TestFuzzCrashesARPGap(t *testing.T) {
+	// Under ARP, crash fuzzing finds RP violations but no ARP-rule
+	// violations; under LRP, neither.
+	run := func(k Mechanism) (int, int) {
+		_, m, err := RunWorkload(tinyConfig(k), Spec{
+			Structure: "linkedlist", Threads: 2, InitialSize: 16, OpsPerThread: 40, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, arp, first, err := FuzzCrashes(m, 400, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp > 0 && first == nil {
+			t.Fatal("missing first violation report")
+		}
+		return rp, arp
+	}
+	rp, arp := run(ARP)
+	if rp == 0 {
+		t.Fatal("ARP should leave RP-violating crash windows")
+	}
+	if arp != 0 {
+		t.Fatalf("ARP mechanism violated its own rule %d times", arp)
+	}
+	rp, arp = run(LRP)
+	if rp != 0 || arp != 0 {
+		t.Fatalf("LRP violated: rp=%d arp=%d", rp, arp)
+	}
+}
+
+func TestPublicRecoveryRoundTrip(t *testing.T) {
+	cfg := tinyConfig(LRP)
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLinkedList(m)
+	m.Run([]Program{func(c *Ctx) {
+		for k := uint64(1); k <= 20; k++ {
+			l.Insert(c, k, DefaultVal(k))
+		}
+		l.Delete(c, 7)
+	}})
+	m.Drain()
+	rec, err := RecoverList(m.NVM().FinalImage(nil), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Members) != 19 || rec.Members[8] != DefaultVal(8) {
+		t.Fatalf("recovered %d members", len(rec.Members))
+	}
+	if _, present := rec.Members[7]; present {
+		t.Fatal("deleted key recovered")
+	}
+}
+
+func TestPublicRecoveryAllStructures(t *testing.T) {
+	cfg := tinyConfig(LRP)
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHashMap(m, 8)
+	b := NewBST(m)
+	sl := NewSkipList(m)
+	q := NewQueue(m)
+	m.RunOne(func(c *Ctx) {
+		b.Init(c)
+		q.Init(c)
+		for k := uint64(1); k <= 10; k++ {
+			h.Insert(c, k, DefaultVal(k))
+			b.Insert(c, k, DefaultVal(k))
+			sl.Insert(c, k, DefaultVal(k))
+			q.Enqueue(c, k)
+		}
+	})
+	m.Drain()
+	img := m.NVM().FinalImage(nil)
+	if rec, err := RecoverHashMap(img, h); err != nil || len(rec.Members) != 10 {
+		t.Fatalf("hashmap: %v %v", rec, err)
+	}
+	if rec, err := RecoverBST(img, b); err != nil || len(rec.Members) != 10 {
+		t.Fatalf("bst: %v %v", rec, err)
+	}
+	if rec, err := RecoverSkipList(img, sl); err != nil || len(rec.Members) != 10 {
+		t.Fatalf("skiplist: %v %v", rec, err)
+	}
+	if rec, err := RecoverQueue(img, q); err != nil || len(rec.Values) != 10 {
+		t.Fatalf("queue: %v %v", rec, err)
+	}
+}
+
+func TestParseMechanism(t *testing.T) {
+	k, err := ParseMechanism("LRP")
+	if err != nil || k != LRP {
+		t.Fatal("ParseMechanism")
+	}
+	if _, err := ParseMechanism("XXX"); err == nil {
+		t.Fatal("bad name accepted")
+	}
+}
+
+func TestFig5Tiny(t *testing.T) {
+	tab, err := Fig5(tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.Format()
+	for _, s := range Structures {
+		if !strings.Contains(out, s) {
+			t.Fatalf("missing %s:\n%s", s, out)
+		}
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+}
+
+func TestFig6Tiny(t *testing.T) {
+	tab, err := Fig6(tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 || len(tab.Header) != 3 {
+		t.Fatalf("shape: %+v", tab.Header)
+	}
+}
+
+func TestFig7Tiny(t *testing.T) {
+	tab, err := Fig7(tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.Title, "uncached") {
+		t.Fatal("wrong title")
+	}
+}
+
+func TestFig8Tiny(t *testing.T) {
+	tab, err := Fig8(tinyOpts, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+}
+
+func TestSizeSensitivityTiny(t *testing.T) {
+	tab, err := SizeSensitivity(tinyOpts, 0.01, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+}
+
+func TestAblationsTiny(t *testing.T) {
+	if tab, err := AblationRET(tinyOpts, 2, 8); err != nil || len(tab.Rows) != 4 {
+		t.Fatalf("RET ablation: %v", err)
+	}
+	if tab, err := AblationReadMix(tinyOpts, 0, 90); err != nil || len(tab.Rows) != 2 {
+		t.Fatalf("read-mix ablation: %v", err)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out := Table1().Format()
+	for _, want := range []string{"64-core", "32KB", "MESI", "120cy", "350cy", "32 entries"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMechanismList(t *testing.T) {
+	if len(Mechanisms) != 5 || len(Structures) != 5 {
+		t.Fatal("lists")
+	}
+}
