@@ -220,6 +220,75 @@ func BenchmarkAblationReadMix(b *testing.B) {
 	}
 }
 
+// benchObserver runs the hashmap/LRP workload with an Observer built by
+// mk (nil leaves Config.Obs unset). The three variants below are the
+// observability cost guard: compare ObserverOff against the others with
+// benchstat. ObserverOff must stay within noise of the pre-observability
+// seed — every hook is nil-checked, so a machine without an Observer
+// does no metrics work at all.
+func benchObserver(b *testing.B, mk func(Config) *Observer) {
+	base := DefaultConfig().WithMechanism(LRP)
+	base.Cores = benchThreads
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := base
+		if mk != nil {
+			cfg.Obs = mk(cfg)
+		}
+		_, _, err := RunWorkload(cfg, Spec{
+			Structure: "hashmap", Threads: benchThreads,
+			InitialSize: benchSizes["hashmap"], OpsPerThread: benchOps, Seed: benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObserverOff(b *testing.B) { benchObserver(b, nil) }
+func BenchmarkObserverMetrics(b *testing.B) {
+	benchObserver(b, func(cfg Config) *Observer { return NewObserver(cfg, false, 0) })
+}
+func BenchmarkObserverTrace(b *testing.B) {
+	benchObserver(b, func(cfg Config) *Observer { return NewObserver(cfg, true, 0) })
+}
+
+// TestObserverTimingNeutral pins the observability contract stated in
+// internal/obs: attaching an Observer reads virtual time but never
+// advances it, so the simulated run is bit-identical with and without
+// one — same execution time, same machine counters.
+func TestObserverTimingNeutral(t *testing.T) {
+	run := func(mk func(Config) *Observer) *Result {
+		cfg := DefaultConfig().WithMechanism(LRP)
+		cfg.Cores = 8
+		if mk != nil {
+			cfg.Obs = mk(cfg)
+		}
+		res, _, err := RunWorkload(cfg, Spec{
+			Structure: "hashmap", Threads: 8,
+			InitialSize: 1024, OpsPerThread: 40, Seed: benchSeed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	bare := run(nil)
+	metrics := run(func(cfg Config) *Observer { return NewObserver(cfg, false, 0) })
+	traced := run(func(cfg Config) *Observer { return NewObserver(cfg, true, 0) })
+	for name, got := range map[string]*Result{"metrics": metrics, "trace": traced} {
+		if got.ExecTime != bare.ExecTime {
+			t.Errorf("%s observer changed simulated time: %d != %d", name, got.ExecTime, bare.ExecTime)
+		}
+		if got.Sys != bare.Sys {
+			t.Errorf("%s observer changed machine counters:\n  with    %+v\n  without %+v", name, got.Sys, bare.Sys)
+		}
+		if got.NVM != bare.NVM {
+			t.Errorf("%s observer changed NVM counters:\n  with    %+v\n  without %+v", name, got.NVM, bare.NVM)
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures the raw simulation speed: host
 // nanoseconds per simulated memory operation.
 func BenchmarkSimulatorThroughput(b *testing.B) {

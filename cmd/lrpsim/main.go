@@ -11,11 +11,19 @@
 // A single workload can also be run directly:
 //
 //	lrpsim -run hashmap -mechanism LRP -threads 16 -size 16384 -ops 100
+//
+// Observability (works with both modes):
+//
+//	-metrics        print the metrics-registry report after the run
+//	-trace FILE     write a Chrome trace_event JSON (Perfetto-loadable)
+//	-pprof ADDR     serve net/http/pprof while the simulation runs
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"lrp"
@@ -32,8 +40,20 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "size scale factor for experiments")
 		seed       = flag.Uint64("seed", 7, "deterministic seed")
 		uncached   = flag.Bool("uncached", false, "disable the NVM-side DRAM cache for -run")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to FILE")
+		metrics    = flag.Bool("metrics", false, "print the metrics-registry report")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "lrpsim: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "lrpsim: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	opts := lrp.ExperimentOpts{
 		Threads:   *threads,
@@ -44,17 +64,49 @@ func main() {
 
 	switch {
 	case *run != "":
-		if err := runOne(*run, *mechanism, *threads, *ops, *size, *seed, *uncached); err != nil {
+		if err := runOne(*run, *mechanism, *threads, *ops, *size, *seed, *uncached, *tracePath, *metrics); err != nil {
 			fail(err)
 		}
 	case *experiment != "":
 		if err := runExperiment(*experiment, opts); err != nil {
 			fail(err)
 		}
+		if *metrics {
+			rep, err := lrp.MetricsReport(opts)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(rep)
+		}
+		if *tracePath != "" {
+			if err := writeExperimentTrace(opts, *tracePath); err != nil {
+				fail(err)
+			}
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeExperimentTrace captures one traced LRP hashmap run at the
+// experiment's parameters — the figures themselves aggregate many runs,
+// so the trace shows one representative machine under the paper's
+// mechanism of interest.
+func writeExperimentTrace(opts lrp.ExperimentOpts, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := lrp.WriteTrace(opts, "hashmap", lrp.LRP, f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace: LRP hashmap run written to %s (load in Perfetto or chrome://tracing)\n", path)
+	return nil
 }
 
 func fail(err error) {
@@ -109,7 +161,7 @@ func runExperiment(name string, opts lrp.ExperimentOpts) error {
 	}
 }
 
-func runOne(structure, mechName string, threads, ops, size int, seed uint64, uncached bool) error {
+func runOne(structure, mechName string, threads, ops, size int, seed uint64, uncached bool, tracePath string, metrics bool) error {
 	k, err := lrp.ParseMechanism(mechName)
 	if err != nil {
 		return err
@@ -125,7 +177,10 @@ func runOne(structure, mechName string, threads, ops, size int, seed uint64, unc
 	if size == 0 {
 		size = 4096
 	}
-	res, _, err := lrp.RunWorkload(cfg, lrp.Spec{
+	if metrics || tracePath != "" {
+		cfg.Obs = lrp.NewObserver(cfg, tracePath != "", 0)
+	}
+	res, m, err := lrp.RunWorkload(cfg, lrp.Spec{
 		Structure:    structure,
 		Threads:      threads,
 		InitialSize:  size,
@@ -147,5 +202,23 @@ func runOne(structure, mechName string, threads, ops, size int, seed uint64, unc
 	fmt.Printf("downgrades      %d (I2 blocks: %d)\n", res.Sys.Downgrades, res.Sys.I2Stalls)
 	fmt.Printf("stall cycles    %d\n", res.Sys.StallCycles)
 	fmt.Printf("NVM traffic     %d bytes persisted, %d line reads\n", res.NVM.BytesPersisted, res.NVM.Reads)
+	if metrics {
+		fmt.Println()
+		fmt.Println(lrp.MetricsSummary(m))
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := m.Observer().Tracer().WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (load in Perfetto or chrome://tracing)\n", tracePath)
+	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lrp/internal/isa"
+	"lrp/internal/obs"
 )
 
 // NoOwner marks a directory entry with no Modified/Exclusive holder.
@@ -36,6 +37,9 @@ func (e *DirEntry) SharerList() []int {
 type Directory struct {
 	entries map[isa.Addr]*DirEntry
 	cores   int
+
+	// o feeds directory metrics; nil unless SetObserver was called.
+	o *obs.Observer
 }
 
 // NewDirectory creates a directory for the given core count (≤64).
@@ -46,12 +50,18 @@ func NewDirectory(cores int) *Directory {
 	return &Directory{entries: make(map[isa.Addr]*DirEntry), cores: cores}
 }
 
+// SetObserver attaches the observability layer.
+func (d *Directory) SetObserver(o *obs.Observer) { d.o = o }
+
 // Entry returns the entry for a line, creating an empty one on demand.
 func (d *Directory) Entry(line isa.Addr) *DirEntry {
 	e := d.entries[line]
 	if e == nil {
 		e = &DirEntry{Owner: NoOwner}
 		d.entries[line] = e
+		if d.o != nil {
+			d.o.DirEntryCreated()
+		}
 	}
 	return e
 }
@@ -83,10 +93,13 @@ func (d *Directory) ClearOwner(line isa.Addr, keepAsSharer bool) {
 	e.Owner = NoOwner
 }
 
-// RemoveSharer drops core from the sharer set.
+// RemoveSharer drops core from the sharer set (an invalidation message).
 func (d *Directory) RemoveSharer(line isa.Addr, core int) {
 	d.check(core)
 	if e := d.entries[line]; e != nil {
+		if d.o != nil && e.Sharers&(1<<uint(core)) != 0 {
+			d.o.DirInvalidation()
+		}
 		e.Sharers &^= 1 << uint(core)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lrp/internal/isa"
+	"lrp/internal/obs"
 )
 
 // L1Stats counts L1 events.
@@ -22,6 +23,11 @@ type L1 struct {
 	ways    int
 	tick    uint64
 	stats   L1Stats
+
+	// core and o feed the observability layer; o is nil unless
+	// SetObserver was called.
+	core int
+	o    *obs.Observer
 }
 
 // NewL1 builds a cache of the given total size in bytes with the given
@@ -44,6 +50,13 @@ func NewL1(sizeBytes, ways int) *L1 {
 		c.sets[i] = make([]Line, ways)
 	}
 	return c
+}
+
+// SetObserver attaches the observability layer, attributing this cache's
+// events to the given core.
+func (c *L1) SetObserver(core int, o *obs.Observer) {
+	c.core = core
+	c.o = o
 }
 
 // Sets returns the number of sets.
@@ -111,6 +124,9 @@ func (c *L1) Fill(slot *Line, line isa.Addr, st State) {
 		c.stats.Evictions++
 		if slot.State == Modified {
 			c.stats.DirtyEvictions++
+		}
+		if c.o != nil {
+			c.o.L1Eviction(c.core, slot.State == Modified)
 		}
 	}
 	c.tick++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lrp/internal/isa"
+	"lrp/internal/obs"
 )
 
 // LLCStats counts shared-cache events.
@@ -35,6 +36,9 @@ type LLC struct {
 	tick  uint64
 	stats LLCStats
 	banks int
+
+	// o feeds per-bank hit/miss metrics; nil unless SetObserver was called.
+	o *obs.Observer
 }
 
 // NewLLC builds a shared cache of sizeBytes with the given associativity,
@@ -55,6 +59,9 @@ func NewLLC(sizeBytes, ways, banks int) *LLC {
 		banks: banks,
 	}
 }
+
+// SetObserver attaches the observability layer.
+func (c *LLC) SetObserver(o *obs.Observer) { c.o = o }
 
 // Banks returns the number of LLC banks.
 func (c *LLC) Banks() int { return c.banks }
@@ -109,10 +116,16 @@ func (c *LLC) Access(line isa.Addr) bool {
 			c.tick++
 			s[i].lru = c.tick
 			c.stats.Hits++
+			if c.o != nil {
+				c.o.LLCAccess(c.Bank(line), true)
+			}
 			return true
 		}
 	}
 	c.stats.Misses++
+	if c.o != nil {
+		c.o.LLCAccess(c.Bank(line), false)
+	}
 	return false
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"lrp/internal/engine"
 	"lrp/internal/nvm"
+	"lrp/internal/obs"
 	"lrp/internal/persist"
 )
 
@@ -74,6 +75,12 @@ type Config struct {
 	// log, which crash-consistency checking needs. Timing experiments
 	// leave it off: it does not change timing, only memory footprint.
 	TrackHB bool
+
+	// Obs attaches the observability layer (metrics registry plus
+	// optional cycle tracer) to every machine component. Nil disables
+	// observability entirely; each hook site then costs one predicted
+	// branch. Observability never changes simulated timing.
+	Obs *obs.Observer
 }
 
 // DefaultConfig mirrors Table 1: 64 OoO cores at 2.5GHz, 32KB 8-way L1

@@ -192,12 +192,12 @@ func (s *System) Drain() engine.Time {
 	if s.mech.llcEvictPersists() {
 		now := s.Time()
 		for line, stamps := range s.llcStamps {
-			s.persistAddr(line, stamps, now, now, false)
+			s.persistAddr(-1, line, stamps, now, now, false)
 			s.llc.MarkClean(line)
 			delete(s.llcStamps, line)
 		}
 		for _, line := range s.llc.DirtyLines() {
-			s.persistAddr(line, nil, now, now, false)
+			s.persistAddr(-1, line, nil, now, now, false)
 			s.llc.MarkClean(line)
 		}
 	}

@@ -92,7 +92,7 @@ func (s *System) flushAllDirty(tid int, now engine.Time, critical bool) engine.T
 			continue
 		}
 		addr := l.Addr
-		done := s.persistL1Line(l, now, now, critical)
+		done := s.persistL1Line(tid, l, now, now, critical)
 		th.pending.Add(done)
 		s.blockLine(addr, done)
 		if done > horizon {
@@ -105,11 +105,14 @@ func (s *System) flushAllDirty(tid int, now engine.Time, critical bool) engine.T
 			released[j], released[j-1] = released[j-1], released[j]
 		}
 	}
+	if s.obs != nil {
+		s.obs.EngineScan(tid, len(dirty), len(released), now)
+	}
 	t := horizon
 	for _, l := range released {
-		th.ret.Remove(l.Addr)
+		th.ret.RemoveAt(l.Addr, now)
 		addr := l.Addr
-		t = s.persistL1Line(l, now, t, critical)
+		t = s.persistL1Line(tid, l, now, t, critical)
 		th.pending.Add(t)
 		s.blockLine(addr, t)
 	}

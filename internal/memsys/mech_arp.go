@@ -74,7 +74,7 @@ func (m *arpMech) drainEpochs(tid int, upTo uint32, now engine.Time) engine.Time
 		}
 		horizon := th.arpDrain
 		for _, e := range entries {
-			done := s.persistAddr(e.line, e.stamps, now, issue, false)
+			done := s.persistAddr(tid, e.line, e.stamps, now, issue, false)
 			if done > horizon {
 				horizon = done
 			}

@@ -53,7 +53,7 @@ func (m *bbMech) flushEpoch(tid int, now engine.Time) engine.Time {
 		if l.Epoch != cur {
 			continue // older epochs are already in flight
 		}
-		done := s.persistL1Line(l, now, issue, stalled)
+		done := s.persistL1Line(tid, l, now, issue, stalled)
 		th.pending.Add(done)
 		if done > horizon {
 			horizon = done
@@ -61,11 +61,18 @@ func (m *bbMech) flushEpoch(tid int, now engine.Time) engine.Time {
 	}
 	th.bbPrevHorizon = th.bbHorizon
 	th.bbHorizon = horizon
-	if _, overflowed := th.epochs.Advance(); overflowed {
+	epoch, overflowed := th.epochs.Advance()
+	if overflowed {
 		// Epoch-id wraparound: tags become incomparable, so everything
 		// still buffered must go (mirrors LRP's overflow flush).
 		s.stats.EpochOverflows++
+		if s.obs != nil {
+			s.obs.EpochOverflow(tid, now)
+		}
 		th.bbHorizon = s.flushAllDirty(tid, issue, false)
+	}
+	if s.obs != nil {
+		s.obs.EpochAdvance(tid, epoch, now)
 	}
 	return now
 }
@@ -83,7 +90,7 @@ func (m *bbMech) onWrite(tid int, l *cache.Line, release bool, now engine.Time) 
 	// the critical path.
 	if l.NeedsPersist() && l.Epoch != th.epochs.Current() {
 		issue := engine.Max(now, th.bbHorizon)
-		done := s.persistL1Line(l, now, issue, true)
+		done := s.persistL1Line(tid, l, now, issue, true)
 		th.pending.Add(done)
 		if done > th.bbHorizon {
 			th.bbHorizon = done
@@ -115,7 +122,7 @@ func (m *bbMech) onRMWAcquire(tid int, l *cache.Line, now engine.Time) engine.Ti
 	th := s.threads[tid]
 	if l.NeedsPersist() {
 		issue := engine.Max(now, th.bbHorizon)
-		done := s.persistL1Line(l, now, issue, true)
+		done := s.persistL1Line(tid, l, now, issue, true)
 		th.pending.Add(done)
 		return done
 	}
@@ -129,7 +136,7 @@ func (m *bbMech) onEvict(tid int, l *cache.Line, now engine.Time) engine.Time {
 		// Unflushed (current-epoch) data evicted: persist on the
 		// critical path, behind the epoch horizon.
 		issue := engine.Max(now, th.bbHorizon)
-		done := s.persistL1Line(l, now, issue, true)
+		done := s.persistL1Line(tid, l, now, issue, true)
 		th.pending.Add(done)
 		return done
 	}
@@ -149,7 +156,7 @@ func (m *bbMech) onDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Tim
 		// The shared line's writes are not durable yet: persist them off
 		// the critical path (lazy inter-thread enforcement)...
 		issue := engine.Max(now, owner.bbHorizon)
-		ack = s.persistL1Line(l, now, issue, false)
+		ack = s.persistL1Line(ownerTid, l, now, issue, false)
 		owner.pending.Add(ack)
 		if ack > owner.bbHorizon {
 			owner.bbHorizon = ack

@@ -49,6 +49,9 @@ func (m *lrpMech) persistReleased(tid int, l *cache.Line, now engine.Time, criti
 	sched := persist.BuildSchedule(trigger, scanned)
 	s.stats.EngineScans++
 	s.stats.EngineReleases += uint64(len(sched.Releases))
+	if s.obs != nil {
+		s.obs.EngineScan(tid, len(scanned), len(sched.Releases), now)
+	}
 
 	// Only-written lines persist immediately and concurrently; the
 	// pending-persists counter tracks them. The engine also waits for
@@ -57,7 +60,7 @@ func (m *lrpMech) persistReleased(tid int, l *cache.Line, now engine.Time, criti
 	horizon := th.pending.MaxTime(now)
 	for _, w := range sched.Writes {
 		addr := w.Addr
-		done := s.persistL1Line(byAddr[addr], now, now, critical)
+		done := s.persistL1Line(tid, byAddr[addr], now, now, critical)
 		th.pending.Add(done)
 		s.blockLine(addr, done) // directory holds the line until the ack (I4)
 		if done > horizon {
@@ -72,9 +75,9 @@ func (m *lrpMech) persistReleased(tid int, l *cache.Line, now engine.Time, criti
 		if cl == nil {
 			cl = l
 		}
-		th.ret.Remove(cl.Addr)
+		th.ret.RemoveAt(cl.Addr, now)
 		addr := cl.Addr
-		t = s.persistL1Line(cl, now, t, critical)
+		t = s.persistL1Line(tid, cl, now, t, critical)
 		th.pending.Add(t)
 		// The directory holds the line until the ack: a released line's
 		// value must not become readable (through S copies or the LLC)
@@ -113,7 +116,7 @@ func (m *lrpMech) onWrite(tid int, l *cache.Line, release bool, now engine.Time)
 		// Case (2): only-written line — a release never coalesces with
 		// earlier writes; the old content persists (off the critical
 		// path) and the line is then treated as clean.
-		done := s.persistL1Line(l, now, now, false)
+		done := s.persistL1Line(tid, l, now, now, false)
 		th.pending.Add(done)
 	}
 	epoch, overflowed := th.epochs.Advance()
@@ -121,24 +124,33 @@ func (m *lrpMech) onWrite(tid int, l *cache.Line, release bool, now engine.Time)
 		// §5.2.1: on epoch-id overflow, persist everything buffered and
 		// restart the epochs.
 		s.stats.EpochOverflows++
+		if s.obs != nil {
+			s.obs.EpochOverflow(tid, now)
+		}
 		s.flushAllDirty(tid, now, false)
 		th.ret.Clear()
 		epoch, _ = th.epochs.Advance()
+	}
+	if s.obs != nil {
+		s.obs.EpochAdvance(tid, epoch, now)
 	}
 	// RET pressure: persist the oldest release before allocating.
 	if th.ret.AtWatermark() {
 		if e, ok := th.ret.Oldest(); ok {
 			s.stats.RETWatermarkFlushes++
+			if s.obs != nil {
+				s.obs.RETDrain(tid, uint64(e.Line), now)
+			}
 			if cl := s.l1s[tid].Lookup(e.Line); cl != nil && cl.Released() {
 				m.persistReleased(tid, cl, now, false)
 			} else {
-				th.ret.Remove(e.Line)
+				th.ret.RemoveAt(e.Line, now)
 			}
 		}
 	}
 	l.MinEpoch = epoch
 	l.Release = true
-	th.ret.Add(l.Addr, epoch)
+	th.ret.AddAt(l.Addr, epoch, now)
 	return now
 }
 
@@ -160,7 +172,7 @@ func (m *lrpMech) onRMWAcquire(tid int, l *cache.Line, now engine.Time) engine.T
 	if !l.NeedsPersist() {
 		return now
 	}
-	done := m.s.persistL1Line(l, now, now, true)
+	done := m.s.persistL1Line(tid, l, now, now, true)
 	m.s.threads[tid].pending.Add(done)
 	return done
 }
@@ -178,7 +190,7 @@ func (m *lrpMech) onEvict(tid int, l *cache.Line, now engine.Time) engine.Time {
 		return now
 	}
 	if l.NeedsPersist() {
-		done := s.persistL1Line(l, now, now, false)
+		done := s.persistL1Line(tid, l, now, now, false)
 		s.threads[tid].pending.Add(done)
 		s.blockLine(l.Addr, done)
 	} else if f := engine.Time(l.FlushedUntil); f > now {
@@ -204,7 +216,7 @@ func (m *lrpMech) onDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Ti
 	if l.NeedsPersist() {
 		// Only-written: persist off the critical path; the directory
 		// blocks later requests until the ack (I4).
-		done := s.persistL1Line(l, now, now, false)
+		done := s.persistL1Line(ownerTid, l, now, now, false)
 		s.threads[ownerTid].pending.Add(done)
 		s.blockLine(l.Addr, done)
 		return now

@@ -36,7 +36,7 @@ func (m *sbMech) onStamped(tid int, l *cache.Line, st model.Stamp, release bool,
 	// Full barrier after the release: the release itself persists before
 	// the thread proceeds, which is what lets a later acquire (from
 	// anywhere) trust that a visible release is durable.
-	done := m.s.persistL1Line(l, now, now, true)
+	done := m.s.persistL1Line(tid, l, now, now, true)
 	m.s.threads[tid].pending.Add(done)
 	return done
 }
@@ -47,7 +47,7 @@ func (m *sbMech) onRMWAcquire(tid int, l *cache.Line, now engine.Time) engine.Ti
 	if !l.NeedsPersist() {
 		return now
 	}
-	return m.s.persistL1Line(l, now, now, true)
+	return m.s.persistL1Line(tid, l, now, now, true)
 }
 
 func (m *sbMech) onEvict(tid int, l *cache.Line, now engine.Time) engine.Time {
@@ -55,7 +55,7 @@ func (m *sbMech) onEvict(tid int, l *cache.Line, now engine.Time) engine.Time {
 		return now
 	}
 	// Strict: eviction persists on the critical path.
-	return m.s.persistL1Line(l, now, now, true)
+	return m.s.persistL1Line(tid, l, now, now, true)
 }
 
 func (m *sbMech) onDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Time) engine.Time {

@@ -5,6 +5,7 @@ import (
 	"lrp/internal/engine"
 	"lrp/internal/isa"
 	"lrp/internal/model"
+	"lrp/internal/obs"
 )
 
 // read executes a load by thread tid and returns the value read.
@@ -66,7 +67,10 @@ func (s *System) barrier(tid int) {
 	th := s.threads[tid]
 	t := th.clock + s.cfg.IssueCost
 	t2 := s.mech.onBarrier(tid, t)
-	s.stall(t, t2)
+	s.stall(tid, obs.StallBarrier, t, t2)
+	if s.obs != nil {
+		s.obs.Barrier(tid, t, t2)
+	}
 	s.stats.Ops++
 	th.clock = t2
 }
@@ -99,7 +103,7 @@ func (s *System) obtainExclusive(tid int, line isa.Addr, t engine.Time) engine.T
 func (s *System) performWrite(tid int, addr isa.Addr, val uint64, release, rmwAcquire bool, t engine.Time) engine.Time {
 	l := s.l1s[tid].Lookup(addr.Line())
 	t2 := s.mech.onWrite(tid, l, release, t)
-	s.stall(t, t2)
+	s.stall(tid, obs.StallWrite, t, t2)
 	t = t2
 	var st model.Stamp
 	if s.tracker != nil {
@@ -117,7 +121,7 @@ func (s *System) performWrite(tid int, addr isa.Addr, val uint64, release, rmwAc
 		// Invariant I3: an acquire-RMW blocks the pipeline until its
 		// write persists.
 		t3 := s.mech.onRMWAcquire(tid, l, t)
-		s.stall(t, t3)
+		s.stall(tid, obs.StallRMWAcquire, t, t3)
 		t = t3
 	}
 	return t
@@ -168,8 +172,12 @@ func (s *System) fetch(tid int, line isa.Addr, exclusive bool, t engine.Time) en
 		if ol != nil && ol.State == cache.Modified {
 			s.stats.Downgrades++
 			s.stats.Writebacks++
+			if s.obs != nil {
+				s.obs.Downgrade(owner, uint64(line), downgradeCause(ol, t), t)
+			}
 			t2 := s.mech.onDowngrade(owner, tid, ol, t)
-			s.stall(t, t2)
+			// The requester is the thread that pays any I2 wait.
+			s.stall(tid, obs.StallDowngrade, t, t2)
 			t = t2
 			s.installWriteback(owner, ol, t)
 			dataFromOwner = true
@@ -238,13 +246,31 @@ func (s *System) fetch(tid int, line isa.Addr, exclusive bool, t engine.Time) en
 func (s *System) evictL1(tid int, victim *cache.Line, t engine.Time) engine.Time {
 	if victim.State == cache.Modified {
 		s.stats.Writebacks++
+		if s.obs != nil {
+			s.obs.DirtyEviction(tid, uint64(victim.Addr), t)
+		}
 		t2 := s.mech.onEvict(tid, victim, t)
-		s.stall(t, t2)
+		s.stall(tid, obs.StallEvict, t, t2)
 		t = t2
 		s.installWriteback(tid, victim, t)
 	}
 	s.dir.DropCore(victim.Addr, tid)
 	return t
+}
+
+// downgradeCause classifies what a downgrade of a Modified line will cost
+// before the mechanism hook runs (the hook mutates the line's metadata).
+func downgradeCause(l *cache.Line, now engine.Time) obs.DowngradeCause {
+	switch {
+	case l.Released():
+		return obs.DowngradeReleased
+	case l.NeedsPersist():
+		return obs.DowngradeOnlyWritten
+	case engine.Time(l.FlushedUntil) > now:
+		return obs.DowngradeInFlight
+	default:
+		return obs.DowngradeClean
+	}
 }
 
 // installWriteback puts an L1 line's data into the LLC after a downgrade
@@ -281,6 +307,6 @@ func (s *System) llcFillClean(line isa.Addr, t engine.Time) {
 	if dirty && s.mech.llcEvictPersists() {
 		// Dirty LLC data reaches NVM when evicted (off the critical
 		// path of any core).
-		s.persistAddr(ev, stamps, t, t, false)
+		s.persistAddr(-1, ev, stamps, t, t, false)
 	}
 }

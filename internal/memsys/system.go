@@ -9,7 +9,9 @@ import (
 	"lrp/internal/mm"
 	"lrp/internal/model"
 	"lrp/internal/nvm"
+	"lrp/internal/obs"
 	"lrp/internal/persist"
+	"lrp/internal/stats"
 )
 
 // Stats aggregates run-level counters across the machine.
@@ -43,6 +45,11 @@ type Stats struct {
 	EngineScans    uint64
 	EngineReleases uint64
 }
+
+// Sub returns the counter deltas s - before, field by field. Counters
+// added to Stats are picked up automatically, so window-delta consumers
+// (the workload harness) never silently drop one.
+func (s Stats) Sub(before Stats) Stats { return stats.Delta(s, before) }
 
 // thread is the per-hardware-thread machine state.
 type thread struct {
@@ -103,6 +110,10 @@ type System struct {
 	staticArena *mm.Arena
 
 	stats Stats
+
+	// obs is the observability layer; nil when disabled. Hooks guard on
+	// the nil so a dark machine pays one branch per site.
+	obs *obs.Observer
 }
 
 // New builds a machine from the configuration.
@@ -122,9 +133,15 @@ func New(cfg Config) (*System, error) {
 		lineBlocked: make(map[isa.Addr]engine.Time),
 		llcStamps:   make(map[isa.Addr][]model.Stamp),
 		staticArena: mm.StaticArena(),
+		obs:         cfg.Obs,
 	}
 	if cfg.TrackHB {
 		s.tracker = model.NewTracker(cfg.Cores)
+	}
+	if s.obs != nil {
+		s.nvm.SetObserver(s.obs)
+		s.llc.SetObserver(s.obs)
+		s.dir.SetObserver(s.obs)
 	}
 	s.l1s = make([]*cache.L1, cfg.Cores)
 	s.threads = make([]*thread, cfg.Cores)
@@ -136,6 +153,10 @@ func New(cfg Config) (*System, error) {
 			rng:    engine.NewRand(uint64(i) * 0x9e37),
 			epochs: persist.NewEpochCounter(cfg.EpochBits),
 			ret:    persist.NewRET(cfg.RETSize, cfg.RETWatermark),
+		}
+		if s.obs != nil {
+			s.l1s[i].SetObserver(i, s.obs)
+			s.threads[i].ret.SetObserver(i, s.obs)
 		}
 	}
 	s.mech = newMechanism(cfg.Mechanism, s)
@@ -165,6 +186,9 @@ func (s *System) Tracker() *model.Tracker { return s.tracker }
 
 // Stats returns a copy of the run counters.
 func (s *System) Stats() Stats { return s.stats }
+
+// Observer returns the attached observability layer (nil when disabled).
+func (s *System) Observer() *obs.Observer { return s.obs }
 
 // L1 exposes core i's private cache (tests and tooling).
 func (s *System) L1(i int) *cache.L1 { return s.l1s[i] }
@@ -214,12 +238,13 @@ func (s *System) netLat(core, bank int) engine.Time {
 
 // --- persist plumbing ------------------------------------------------------
 
-// persistL1Line issues the persist of an L1 line's current content: the
-// command reaches a controller at wall time now, may not start before
-// earliest (epoch-ordering hold), hands its stamps to the persist log,
-// clears the line's persistency metadata, and returns the ack time.
-// critical classifies the persist for the Figure 6 accounting.
-func (s *System) persistL1Line(l *cache.Line, now, earliest engine.Time, critical bool) engine.Time {
+// persistL1Line issues the persist of an L1 line's current content on
+// behalf of thread tid: the command reaches a controller at wall time
+// now, may not start before earliest (epoch-ordering hold), hands its
+// stamps to the persist log, clears the line's persistency metadata, and
+// returns the ack time. critical classifies the persist for the Figure 6
+// accounting.
+func (s *System) persistL1Line(tid int, l *cache.Line, now, earliest engine.Time, critical bool) engine.Time {
 	words := s.mem.ReadLine(l.Addr)
 	done := s.nvm.PersistLine(now, earliest, l.Addr, words)
 	if dbgLine != 0 && l.Addr == dbgLine {
@@ -229,6 +254,9 @@ func (s *System) persistL1Line(l *cache.Line, now, earliest engine.Time, critica
 		for _, st := range l.Stamps {
 			s.tracker.SetPersisted(st, done)
 		}
+	}
+	if s.obs != nil {
+		s.obs.PersistIssued(tid, uint64(l.Addr), now, done, critical)
 	}
 	l.ClearPersistMeta()
 	l.FlushedUntil = int64(done)
@@ -240,14 +268,18 @@ func (s *System) persistL1Line(l *cache.Line, now, earliest engine.Time, critica
 }
 
 // persistAddr persists the current content of an arbitrary line address
-// (LLC eviction under NOP, ARP buffer drains) with optional stamps.
-func (s *System) persistAddr(addr isa.Addr, stamps []model.Stamp, now, earliest engine.Time, critical bool) engine.Time {
+// (LLC eviction under NOP, ARP buffer drains) with optional stamps, on
+// behalf of thread tid (-1: no specific core, e.g. an LLC eviction).
+func (s *System) persistAddr(tid int, addr isa.Addr, stamps []model.Stamp, now, earliest engine.Time, critical bool) engine.Time {
 	words := s.mem.ReadLine(addr)
 	done := s.nvm.PersistLine(now, earliest, addr, words)
 	if s.tracker != nil {
 		for _, st := range stamps {
 			s.tracker.SetPersisted(st, done)
 		}
+	}
+	if s.obs != nil {
+		s.obs.PersistIssued(tid, uint64(addr), now, done, critical)
 	}
 	s.stats.Persists++
 	if critical {
@@ -271,10 +303,14 @@ func (s *System) lineAvailable(line isa.Addr, now engine.Time) engine.Time {
 	return now
 }
 
-// stall accounts cycles a core spent blocked on persistency actions.
-func (s *System) stall(from, to engine.Time) {
+// stall accounts cycles thread tid spent blocked on persistency actions,
+// attributed to a cause for the observability layer.
+func (s *System) stall(tid int, cause obs.StallCause, from, to engine.Time) {
 	if to > from {
 		s.stats.StallCycles += uint64(to - from)
+		if s.obs != nil {
+			s.obs.Stall(tid, cause, from, to)
+		}
 	}
 }
 

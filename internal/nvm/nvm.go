@@ -12,6 +12,8 @@ import (
 	"lrp/internal/engine"
 	"lrp/internal/isa"
 	"lrp/internal/mm"
+	"lrp/internal/obs"
+	"lrp/internal/stats"
 )
 
 // Mode selects the NVM-side DRAM cache behaviour.
@@ -74,6 +76,9 @@ type Stats struct {
 	BytesPersisted uint64
 }
 
+// Sub returns the counter deltas s - before, field by field.
+func (s Stats) Sub(before Stats) Stats { return stats.Delta(s, before) }
+
 // Event is one completed (or in-flight) line persist.
 type Event struct {
 	// Done is when the persist completed at the controller.
@@ -90,6 +95,10 @@ type Subsystem struct {
 	banks *engine.ServerBank
 	log   []Event
 	stats Stats
+
+	// o feeds per-controller metrics (persists, reads, queue delay); nil
+	// unless SetObserver was called.
+	o *obs.Observer
 }
 
 // New builds the subsystem.
@@ -127,8 +136,16 @@ func (s *Subsystem) Mode() Mode { return s.cfg.Mode }
 // Stats returns a copy of the counters.
 func (s *Subsystem) Stats() Stats { return s.stats }
 
+// SetObserver attaches the observability layer.
+func (s *Subsystem) SetObserver(o *obs.Observer) { s.o = o }
+
 func (s *Subsystem) controller(line isa.Addr) *engine.Server {
 	return s.banks.Bank(uint64(line) >> isa.LineShift)
+}
+
+// controllerIndex returns the controller number serving a line address.
+func (s *Subsystem) controllerIndex(line isa.Addr) int {
+	return int((uint64(line) >> isa.LineShift) % uint64(s.cfg.Controllers))
 }
 
 // PersistLine issues a persist of the given line content and returns the
@@ -142,7 +159,13 @@ func (s *Subsystem) PersistLine(now, earliestStart engine.Time, line isa.Addr, w
 	if earliestStart < now {
 		earliestStart = now
 	}
-	done := s.controller(line).ServeConstrained(now, earliestStart, s.Latency(), s.Occupancy())
+	srv := s.controller(line)
+	if s.o != nil {
+		// Queue delay: how long the command waits behind earlier traffic
+		// before the controller accepts it (the bandwidth term).
+		s.o.NVMPersist(s.controllerIndex(line), srv.FreeAt(now)-now)
+	}
+	done := srv.ServeConstrained(now, earliestStart, s.Latency(), s.Occupancy())
 	s.stats.Persists++
 	s.stats.BytesPersisted += isa.LineSize
 	if s.cfg.LogEvents {
@@ -156,6 +179,9 @@ func (s *Subsystem) PersistLine(now, earliestStart engine.Time, line isa.Addr, w
 func (s *Subsystem) ReadLine(now engine.Time, line isa.Addr) engine.Time {
 	done := s.controller(line.Line()).ServePipelined(now, s.Latency(), s.Occupancy())
 	s.stats.Reads++
+	if s.o != nil {
+		s.o.NVMRead(s.controllerIndex(line.Line()))
+	}
 	return done
 }
 

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of power-of-two buckets: bucket 0 holds the
+// value 0, bucket i (i ≥ 1) holds values in [2^(i-1), 2^i). uint64 values
+// need at most 64 value buckets plus the zero bucket.
+const histBuckets = 65
+
+// Histogram is a log-bucketed (power-of-two) histogram of uint64 samples.
+// Observe is wait-free: one atomic add into a fixed bucket plus two for
+// the running sum and count. Cycle latencies, occupancies and scan
+// lengths all span orders of magnitude, which is exactly what log
+// bucketing resolves with a fixed footprint.
+type Histogram struct {
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     uint64
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v uint64) int { return bits.Len64(v) }
+
+// BucketBounds returns the inclusive-exclusive value range [low, high) of
+// bucket i. Bucket 0 is the zero bucket [0, 1).
+func BucketBounds(i int) (low, high uint64) {
+	if i <= 0 {
+		return 0, 1
+	}
+	if i >= 64 {
+		return 1 << 63, 0 // high wraps: the last bucket is unbounded above
+	}
+	return 1 << (i - 1), 1 << i
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	atomic.AddUint64(&h.buckets[bucketOf(v)], 1)
+	atomic.AddUint64(&h.count, 1)
+	atomic.AddUint64(&h.sum, v)
+}
+
+// Snapshot captures the current contents.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = atomic.LoadUint64(&h.buckets[i])
+	}
+	s.Count = atomic.LoadUint64(&h.count)
+	s.Sum = atomic.LoadUint64(&h.sum)
+	return s
+}
+
+// HistSnapshot is an immutable copy of a histogram's state.
+type HistSnapshot struct {
+	Buckets [histBuckets]uint64
+	Count   uint64
+	Sum     uint64
+}
+
+// Merge adds another snapshot's samples into s.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Mean returns the arithmetic mean of the samples (0 if none).
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
+// upper edge of the bucket containing the q·Count-th sample. Log buckets
+// bound the relative error by 2x, which is enough to tell a 120-cycle
+// persist from a 3000-cycle stall chain.
+func (s *HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen uint64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen > rank {
+			_, high := BucketBounds(i)
+			if high == 0 {
+				return 1<<64 - 1
+			}
+			return high - 1
+		}
+	}
+	return 0
+}

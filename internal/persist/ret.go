@@ -3,13 +3,19 @@ package persist
 import (
 	"fmt"
 
+	"lrp/internal/engine"
 	"lrp/internal/isa"
+	"lrp/internal/obs"
 )
 
 // RETEntry associates a released cache line with its release epoch.
 type RETEntry struct {
 	Line  isa.Addr
 	Epoch uint32
+	// At is the (virtual) time the entry was allocated; the observability
+	// layer derives entry residency from it. Zero when the caller used the
+	// untimed Add.
+	At engine.Time
 }
 
 // RET is the Release Epoch Table (§5.2.1): a small content-addressable
@@ -22,6 +28,11 @@ type RET struct {
 	watermark int
 	// entries in insertion order; the front is the oldest release.
 	entries []RETEntry
+
+	// core and o feed the observability layer (occupancy at insert,
+	// residency at squash). o is nil unless SetObserver was called.
+	core int
+	o    *obs.Observer
 }
 
 // NewRET builds a table with the given capacity and watermark. The
@@ -31,6 +42,13 @@ func NewRET(capacity, watermark int) *RET {
 		panic(fmt.Sprintf("persist: bad RET geometry cap=%d watermark=%d", capacity, watermark))
 	}
 	return &RET{capacity: capacity, watermark: watermark}
+}
+
+// SetObserver attaches the observability layer, attributing this table's
+// events to the given core.
+func (r *RET) SetObserver(core int, o *obs.Observer) {
+	r.core = core
+	r.o = o
 }
 
 // Len reports current occupancy.
@@ -44,11 +62,14 @@ func (r *RET) Cap() int { return r.capacity }
 // inserting more.
 func (r *RET) AtWatermark() bool { return len(r.entries) >= r.watermark }
 
-// Add allocates an entry for a released line. A line can hold at most one
-// unpersisted release (a second release to the same line first persists
-// the previous one), so Add panics on duplicates — that indicates a
-// mechanism bug, not a program error.
-func (r *RET) Add(line isa.Addr, epoch uint32) {
+// Add allocates an entry for a released line at an unspecified time.
+func (r *RET) Add(line isa.Addr, epoch uint32) { r.AddAt(line, epoch, 0) }
+
+// AddAt allocates an entry for a released line at time now. A line can
+// hold at most one unpersisted release (a second release to the same line
+// first persists the previous one), so AddAt panics on duplicates — that
+// indicates a mechanism bug, not a program error.
+func (r *RET) AddAt(line isa.Addr, epoch uint32, now engine.Time) {
 	if len(r.entries) >= r.capacity {
 		panic("persist: RET overflow — watermark not honored")
 	}
@@ -57,7 +78,10 @@ func (r *RET) Add(line isa.Addr, epoch uint32) {
 			panic(fmt.Sprintf("persist: duplicate RET entry for %v", line))
 		}
 	}
-	r.entries = append(r.entries, RETEntry{Line: line, Epoch: epoch})
+	r.entries = append(r.entries, RETEntry{Line: line, Epoch: epoch, At: now})
+	if r.o != nil {
+		r.o.RETAdd(r.core, len(r.entries))
+	}
 }
 
 // Lookup returns the release epoch recorded for a line.
@@ -70,12 +94,19 @@ func (r *RET) Lookup(line isa.Addr) (uint32, bool) {
 	return 0, false
 }
 
-// Remove squashes the entry for a line (the release persisted). It
-// reports whether an entry existed.
-func (r *RET) Remove(line isa.Addr) bool {
+// Remove squashes the entry for a line (the release persisted) at an
+// unspecified time. It reports whether an entry existed.
+func (r *RET) Remove(line isa.Addr) bool { return r.RemoveAt(line, 0) }
+
+// RemoveAt squashes the entry for a line at time now, reporting the
+// entry's residency to the observability layer.
+func (r *RET) RemoveAt(line isa.Addr, now engine.Time) bool {
 	for i, e := range r.entries {
 		if e.Line == line {
 			r.entries = append(r.entries[:i], r.entries[i+1:]...)
+			if r.o != nil {
+				r.o.RETRemove(r.core, now-e.At)
+			}
 			return true
 		}
 	}
@@ -104,5 +135,7 @@ func (r *RET) Entries() []RETEntry {
 	return out
 }
 
-// Clear empties the table (epoch overflow flush).
+// Clear empties the table (epoch overflow flush). Residency of the
+// squashed entries is not reported: an overflow flush squashes the whole
+// table at once and would only skew the per-entry distribution.
 func (r *RET) Clear() { r.entries = r.entries[:0] }

@@ -1,0 +1,38 @@
+package stats
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Delta returns a - b computed field by field for a struct made entirely
+// of unsigned/integer counter fields. Stats structs grow counters over
+// time; hand-written subtraction silently drops any field added after it
+// was written, so window-delta code (the workload harness) uses Delta and
+// picks new counters up automatically. It panics if the struct contains a
+// field that is not an integer counter or cannot be set — adding such a
+// field to a Stats struct is a change the author must reconcile here.
+func Delta[T any](a, b T) T {
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(b)
+	if av.Kind() != reflect.Struct {
+		panic(fmt.Sprintf("stats: Delta needs a struct, got %s", av.Kind()))
+	}
+	t := av.Type()
+	for i := 0; i < av.NumField(); i++ {
+		f := av.Field(i)
+		if !f.CanSet() {
+			panic(fmt.Sprintf("stats: Delta: unexported field %s.%s", t.Name(), t.Field(i).Name))
+		}
+		switch f.Kind() {
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			f.SetUint(f.Uint() - bv.Field(i).Uint())
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			f.SetInt(f.Int() - bv.Field(i).Int())
+		default:
+			panic(fmt.Sprintf("stats: Delta: field %s.%s is %s, not a counter",
+				t.Name(), t.Field(i).Name, f.Type()))
+		}
+	}
+	return a
+}

@@ -1,0 +1,42 @@
+package stats
+
+import "testing"
+
+type counters struct {
+	A uint64
+	B uint64
+	C int64
+}
+
+func TestDelta(t *testing.T) {
+	a := counters{A: 10, B: 7, C: -1}
+	b := counters{A: 4, B: 7, C: -5}
+	d := Delta(a, b)
+	if d != (counters{A: 6, B: 0, C: 4}) {
+		t.Fatalf("Delta = %+v", d)
+	}
+}
+
+// TestDeltaCoversEveryField guards the satellite fix: a newly added
+// counter field must be differenced, not passed through.
+func TestDeltaCoversEveryField(t *testing.T) {
+	a := counters{A: 100, B: 100, C: 100}
+	b := counters{A: 1, B: 2, C: 3}
+	d := Delta(a, b)
+	if d.A != 99 || d.B != 98 || d.C != 97 {
+		t.Fatalf("some field not differenced: %+v", d)
+	}
+}
+
+func TestDeltaRejectsNonCounterField(t *testing.T) {
+	type bad struct {
+		A uint64
+		S string
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Delta over a non-counter field must panic")
+		}
+	}()
+	Delta(bad{}, bad{})
+}

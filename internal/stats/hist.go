@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// HistBucket is one bar of a FormatHistogram rendering.
+type HistBucket struct {
+	// Label names the bucket's value range (e.g. "256-511").
+	Label string
+	// Count is the number of samples in the bucket.
+	Count uint64
+}
+
+// FormatHistogram renders buckets as a labeled ASCII bar chart. Bars are
+// scaled so the fullest bucket spans width characters; empty buckets at
+// either end are trimmed (interior gaps are kept so the shape reads
+// correctly). Returns "" when every bucket is empty.
+func FormatHistogram(title string, buckets []HistBucket, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	lo, hi := -1, -1
+	var max, total uint64
+	for i, b := range buckets {
+		if b.Count == 0 {
+			continue
+		}
+		if lo < 0 {
+			lo = i
+		}
+		hi = i
+		if b.Count > max {
+			max = b.Count
+		}
+		total += b.Count
+	}
+	if lo < 0 {
+		return ""
+	}
+	labelW := 0
+	for _, b := range buckets[lo : hi+1] {
+		if n := utf8.RuneCountInString(b.Label); n > labelW {
+			labelW = n
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s (n=%d)\n", title, total)
+	}
+	for _, b := range buckets[lo : hi+1] {
+		bar := int(b.Count * uint64(width) / max)
+		if b.Count > 0 && bar == 0 {
+			bar = 1
+		}
+		sb.WriteString("  ")
+		sb.WriteString(b.Label)
+		sb.WriteString(strings.Repeat(" ", labelW-utf8.RuneCountInString(b.Label)))
+		sb.WriteString(" ")
+		sb.WriteString(strings.Repeat("#", bar))
+		fmt.Fprintf(&sb, " %d\n", b.Count)
+	}
+	return sb.String()
+}

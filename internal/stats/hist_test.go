@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatHistogram(t *testing.T) {
+	out := FormatHistogram("persist latency (cycles)", []HistBucket{
+		{Label: "0", Count: 0},
+		{Label: "64-127", Count: 40},
+		{Label: "128-255", Count: 10},
+		{Label: "256-511", Count: 0},
+		{Label: "512-1023", Count: 1},
+		{Label: "1024-2047", Count: 0},
+	}, 20)
+	for _, want := range []string{"persist latency (cycles) (n=51)", "64-127", "512-1023", "####"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Leading/trailing empty buckets are trimmed; interior gaps stay.
+	if strings.Contains(out, "1024-2047") {
+		t.Fatalf("trailing empty bucket not trimmed:\n%s", out)
+	}
+	if !strings.Contains(out, "256-511") {
+		t.Fatalf("interior empty bucket lost:\n%s", out)
+	}
+	// The fullest bucket spans the full width; a nonzero bucket never
+	// renders an empty bar.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for _, l := range lines[1:] {
+		if strings.Contains(l, " 1\n") && !strings.Contains(l, "#") {
+			t.Fatalf("nonzero bucket with empty bar: %q", l)
+		}
+	}
+	if !strings.Contains(out, strings.Repeat("#", 20)+" 40") {
+		t.Fatalf("max bucket does not span width:\n%s", out)
+	}
+}
+
+func TestFormatHistogramEmpty(t *testing.T) {
+	if out := FormatHistogram("t", []HistBucket{{Label: "0", Count: 0}}, 10); out != "" {
+		t.Fatalf("empty histogram must render empty, got %q", out)
+	}
+}

@@ -8,6 +8,7 @@ package stats
 import (
 	"fmt"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a titled grid of formatted cells.
@@ -40,16 +41,18 @@ func (t *Table) AddNote(format string, args ...interface{}) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
-// Format renders the table as aligned text.
+// Format renders the table as aligned text. Column widths count runes,
+// not bytes, so cells holding multi-byte characters (µs units, the ×
+// sign, non-ASCII workload names) do not skew later columns.
 func (t *Table) Format() string {
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -62,7 +65,10 @@ func (t *Table) Format() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			b.WriteString(c)
+			if pad := widths[i] - utf8.RuneCountInString(c); pad > 0 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
 		}
 		b.WriteByte('\n')
 	}

@@ -35,6 +35,29 @@ func TestTableShortRowPadded(t *testing.T) {
 	}
 }
 
+// TestTableRuneAlignment pins the multi-byte-cell fix: widths count
+// runes, so a µ or × in one cell must not shift later columns.
+func TestTableRuneAlignment(t *testing.T) {
+	tab := NewTable("", "name", "lat", "n")
+	tab.AddRow("fast", "12µs", "1")
+	tab.AddRow("slow", "3000", "2")
+	out := tab.Format()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Both data rows must place the last column at the same rune offset.
+	off := func(s string) int {
+		runes := []rune(s)
+		for i := len(runes) - 1; i >= 0; i-- {
+			if runes[i] == ' ' {
+				return i + 1
+			}
+		}
+		return -1
+	}
+	if off(lines[2]) != off(lines[3]) {
+		t.Fatalf("columns misaligned with multi-byte cell:\n%s", out)
+	}
+}
+
 func TestFormatters(t *testing.T) {
 	if Ratio(1.234) != "1.23x" {
 		t.Fatal(Ratio(1.234))

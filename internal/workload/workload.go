@@ -262,30 +262,15 @@ func runQueue(sys *memsys.System, spec Spec) (*Result, *memsys.System, error) {
 }
 
 func collect(spec Spec, sys *memsys.System, start, end engine.Time, sb memsys.Stats, nb nvm.Stats) *Result {
-	sa := sys.Stats()
-	na := sys.NVM().Stats()
+	// Stats.Sub differences every counter field, so counters added to
+	// either Stats struct are windowed here automatically. The previous
+	// hand-written subtraction silently passed absolute values through
+	// for any field it did not name.
 	return &Result{
 		Spec:     spec,
 		ExecTime: end - start,
 		Ops:      uint64(spec.Threads) * uint64(spec.OpsPerThread),
-		Sys: memsys.Stats{
-			Ops:                 sa.Ops - sb.Ops,
-			Persists:            sa.Persists - sb.Persists,
-			CriticalPersists:    sa.CriticalPersists - sb.CriticalPersists,
-			Writebacks:          sa.Writebacks - sb.Writebacks,
-			StallCycles:         sa.StallCycles - sb.StallCycles,
-			RETWatermarkFlushes: sa.RETWatermarkFlushes - sb.RETWatermarkFlushes,
-			EpochOverflows:      sa.EpochOverflows - sb.EpochOverflows,
-			Downgrades:          sa.Downgrades - sb.Downgrades,
-			I2Stalls:            sa.I2Stalls - sb.I2Stalls,
-			I2Cycles:            sa.I2Cycles - sb.I2Cycles,
-			EngineScans:         sa.EngineScans - sb.EngineScans,
-			EngineReleases:      sa.EngineReleases - sb.EngineReleases,
-		},
-		NVM: nvm.Stats{
-			Persists:       na.Persists - nb.Persists,
-			Reads:          na.Reads - nb.Reads,
-			BytesPersisted: na.BytesPersisted - nb.BytesPersisted,
-		},
+		Sys:      sys.Stats().Sub(sb),
+		NVM:      sys.NVM().Stats().Sub(nb),
 	}
 }

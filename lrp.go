@@ -166,6 +166,7 @@ func Crash(m *Machine, at Time) (*CrashReport, error) {
 		return nil, fmt.Errorf("lrp: crash analysis requires Config.TrackHB")
 	}
 	persisted, total := tr.PersistedCount(at)
+	m.Observer().CrashSnapshot(at, persisted, total)
 	return &CrashReport{
 		At:              at,
 		PersistedWrites: persisted,

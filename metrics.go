@@ -1,0 +1,208 @@
+package lrp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"lrp/internal/obs"
+	"lrp/internal/stats"
+)
+
+// Observer is the machine's observability attachment: a metrics registry
+// plus an optional cycle tracer. Build one with NewObserver, place it in
+// Config.Obs, and read it back from Machine.Observer() after the run.
+type Observer = obs.Observer
+
+// NewObserver builds an Observer sized for the machine cfg describes.
+// trace attaches the event tracer (traceCap events per core ring; 0 uses
+// the default). Metrics are always collected; attaching an Observer never
+// changes simulated timing.
+func NewObserver(cfg Config, trace bool, traceCap int) *Observer {
+	return obs.New(obs.Config{
+		Cores:       cfg.Cores,
+		LLCBanks:    cfg.LLCBanks,
+		Controllers: cfg.NVM.Controllers,
+		EnableTrace: trace,
+		TraceCap:    traceCap,
+	})
+}
+
+// histBars converts a histogram snapshot to the pretty-printer's buckets,
+// labeling each with its power-of-two value range.
+func histBars(s obs.HistSnapshot) []stats.HistBucket {
+	out := make([]stats.HistBucket, len(s.Buckets))
+	for i, n := range s.Buckets {
+		lo, hi := obs.BucketBounds(i)
+		var label string
+		switch {
+		case i == 0:
+			label = "0"
+		case hi == 0:
+			label = fmt.Sprintf("%d+", lo)
+		case hi-lo == 1:
+			label = fmt.Sprintf("%d", lo)
+		default:
+			label = fmt.Sprintf("%d-%d", lo, hi-1)
+		}
+		out[i] = stats.HistBucket{Label: label, Count: n}
+	}
+	return out
+}
+
+// FormatHistogram renders a merged histogram snapshot as an ASCII bar
+// chart (empty string when it holds no samples).
+func FormatHistogram(title string, s obs.HistSnapshot) string {
+	return stats.FormatHistogram(title, histBars(s), 40)
+}
+
+// MetricsReport runs every workload under SB, BB and LRP with a metrics
+// Observer attached and renders the per-mechanism machine counters the
+// registry collected: persist counts and latency quantiles, critical-path
+// share, stall cycles per operation, persist-engine scan lengths, and RET
+// pressure. The histogram section shows the merged LRP persist-latency
+// and RET-occupancy distributions (the acceptance view of §5.2: most
+// persists off the critical path, RET occupancy well under capacity).
+func MetricsReport(o ExperimentOpts) (string, error) {
+	o = o.withDefaults()
+	t := stats.NewTable("Metrics: per-mechanism machine counters",
+		"workload", "mech", "persists", "crit%", "p50 lat", "p99 lat",
+		"stall cyc/op", "scans", "ret drains", "p99 occ")
+	var lrpLat, lrpOcc, lrpRes obs.HistSnapshot
+	for _, structure := range Structures {
+		for _, k := range []Mechanism{SB, BB, LRP} {
+			cfg := o.config(k, false)
+			cfg.Obs = NewObserver(cfg, false, 0)
+			res, m, err := RunWorkload(cfg, o.spec(structure))
+			if err != nil {
+				return "", fmt.Errorf("%s/%s: %w", structure, k, err)
+			}
+			reg := m.Observer().Registry()
+			lat := reg.MergeHistograms("persist/latency/")
+			occ := reg.MergeHistograms("ret/occupancy/")
+			scans := reg.MergeHistograms("engine/scan_len/")
+			persists := reg.SumCounters("persist/issued/")
+			crit := reg.SumCounters("persist/critical/")
+			var critPct float64
+			if persists > 0 {
+				critPct = 100 * float64(crit) / float64(persists)
+			}
+			var stallPerOp float64
+			if res.Ops > 0 {
+				stallPerOp = float64(res.Sys.StallCycles) / float64(res.Ops)
+			}
+			t.AddRow(structure, k.String(),
+				stats.Count(persists),
+				stats.Pct(critPct),
+				stats.Count(lat.Quantile(0.5)),
+				stats.Count(lat.Quantile(0.99)),
+				fmt.Sprintf("%.1f", stallPerOp),
+				stats.Count(uint64(scans.Count)),
+				stats.Count(reg.SumCounters("ret/watermark_flushes/")),
+				stats.Count(occ.Quantile(0.99)))
+			if k == LRP {
+				lrpLat.Merge(lat)
+				lrpOcc.Merge(occ)
+				lrpRes.Merge(reg.MergeHistograms("ret/residency/"))
+			}
+		}
+	}
+	t.AddNote("latencies and occupancies from the metrics registry (cycles; log-bucketed, quantiles are bucket upper edges)")
+	t.AddNote("threads=%d ops/thread=%d seed=%d", o.Threads, o.Ops, o.Seed)
+
+	var b strings.Builder
+	b.WriteString(t.Format())
+	for _, h := range []struct {
+		title string
+		snap  obs.HistSnapshot
+	}{
+		{"LRP persist latency, issue→ack (cycles)", lrpLat},
+		{"LRP RET occupancy at insert (entries)", lrpOcc},
+		{"LRP RET residency, insert→squash (cycles)", lrpRes},
+	} {
+		if s := FormatHistogram(h.title, h.snap); s != "" {
+			b.WriteByte('\n')
+			b.WriteString(s)
+		}
+	}
+	return b.String(), nil
+}
+
+// familyOf strips a per-entity suffix (/coreNN, /bankNN, /ctrlN) off a
+// metric name, leaving the instrument family.
+func familyOf(name string) string {
+	i := strings.LastIndex(name, "/")
+	if i < 0 {
+		return name
+	}
+	last := name[i+1:]
+	if strings.HasPrefix(last, "core") || strings.HasPrefix(last, "bank") || strings.HasPrefix(last, "ctrl") {
+		return name[:i]
+	}
+	return name
+}
+
+// MetricsSummary renders a machine's metrics registry as an aggregated
+// table (per-core/bank/controller families summed) followed by the key
+// histograms. Empty string when the machine has no Observer.
+func MetricsSummary(m *Machine) string {
+	reg := m.Observer().Registry()
+	if reg == nil {
+		return ""
+	}
+	totals := map[string]uint64{}
+	var order []string
+	for _, mv := range reg.Snapshot() {
+		if mv.Kind != obs.KindCounter {
+			continue
+		}
+		fam := familyOf(mv.Name)
+		if _, ok := totals[fam]; !ok {
+			order = append(order, fam)
+		}
+		totals[fam] += uint64(mv.Value)
+	}
+	t := stats.NewTable("Metrics registry (per-entity families summed)", "counter", "total")
+	for _, fam := range order {
+		if totals[fam] == 0 {
+			continue
+		}
+		t.AddRow(fam, stats.Count(totals[fam]))
+	}
+	var b strings.Builder
+	b.WriteString(t.Format())
+	for _, h := range []struct {
+		title  string
+		prefix string
+	}{
+		{"persist latency, issue→ack (cycles)", "persist/latency/"},
+		{"RET occupancy at insert (entries)", "ret/occupancy/"},
+		{"RET residency, insert→squash (cycles)", "ret/residency/"},
+		{"persist-engine scan length (dirty lines)", "engine/scan_len/"},
+		{"NVM controller queue delay (cycles)", "nvm/queue_delay/"},
+		{"barrier latency (cycles)", "barrier/latency/"},
+	} {
+		if s := FormatHistogram(h.title, reg.MergeHistograms(h.prefix)); s != "" {
+			b.WriteByte('\n')
+			b.WriteString(s)
+		}
+	}
+	return b.String()
+}
+
+// WriteTrace runs one workload under mechanism k with the tracer attached
+// and writes the Chrome trace_event JSON to w (load it in Perfetto or
+// chrome://tracing). It returns the workload result.
+func WriteTrace(o ExperimentOpts, structure string, k Mechanism, w io.Writer) (*Result, error) {
+	o = o.withDefaults()
+	cfg := o.config(k, false)
+	cfg.Obs = NewObserver(cfg, true, 0)
+	res, m, err := RunWorkload(cfg, o.spec(structure))
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Observer().Tracer().WriteChromeTrace(w); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
