@@ -24,13 +24,15 @@ import (
 
 func main() {
 	var (
-		mechName  = flag.String("mechanism", "LRP", "mechanism: NOP|SB|BB|ARP|LRP")
-		structure = flag.String("structure", "linkedlist", "workload structure")
-		threads   = flag.Int("threads", 4, "worker threads")
-		size      = flag.Int("size", 256, "initial structure size")
-		ops       = flag.Int("ops", 200, "operations per thread")
-		samples   = flag.Int("samples", 2000, "crash instants to sample")
-		seed      = flag.Uint64("seed", 7, "deterministic seed")
+		mechName   = flag.String("mechanism", "LRP", "mechanism: NOP|SB|BB|ARP|LRP")
+		structure  = flag.String("structure", "linkedlist", "workload structure")
+		threads    = flag.Int("threads", 4, "worker threads")
+		size       = flag.Int("size", 256, "initial structure size")
+		ops        = flag.Int("ops", 200, "operations per thread")
+		samples    = flag.Int("samples", 2000, "crash instants to sample")
+		seed       = flag.Uint64("seed", 7, "deterministic seed")
+		exhaustive = flag.Bool("exhaustive", false,
+			"crash at every persist-completion boundary (±1 cycle) instead of sampling, and run a recovery walk at each")
 	)
 	flag.Parse()
 
@@ -47,7 +49,7 @@ func main() {
 
 	fmt.Printf("running %s under %s (%d threads, %d elements, %d ops/thread)...\n",
 		*structure, k, *threads, *size, *ops)
-	_, m, err := lrp.RunWorkload(cfg, lrp.Spec{
+	_, m, rec, err := lrp.RunRecoverableWorkload(cfg, lrp.Spec{
 		Structure:    *structure,
 		Threads:      *threads,
 		InitialSize:  *size,
@@ -58,11 +60,27 @@ func main() {
 		fail(err)
 	}
 
-	rpBad, arpBad, first, err := lrp.FuzzCrashes(m, *samples, *seed)
-	if err != nil {
-		fail(err)
+	var rpBad, arpBad int
+	var first *lrp.CrashReport
+	if *exhaustive {
+		sweep, err := lrp.SweepCrashBoundaries(m, rec)
+		if err != nil {
+			fail(err)
+		}
+		rpBad, arpBad, first = sweep.RPBad, sweep.ARPBad, sweep.FirstRP
+		fmt.Printf("swept %d crash boundaries over %v of execution\n", sweep.Boundaries, m.Time())
+		fmt.Printf("  recovery walks: %d run, %d dirty (%d nodes quarantined)\n",
+			sweep.WalksRun, sweep.DirtyWalks, sweep.Quarantined)
+		if sweep.FirstDirty != nil {
+			fmt.Printf("  first dirty walk at t=%v: %v\n", sweep.FirstDirtyAt, sweep.FirstDirty)
+		}
+	} else {
+		rpBad, arpBad, first, err = lrp.FuzzCrashes(m, *samples, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("sampled %d crash instants over %v of execution\n", *samples, m.Time())
 	}
-	fmt.Printf("sampled %d crash instants over %v of execution\n", *samples, m.Time())
 	fmt.Printf("  RP  (consistent-cut) violations: %d\n", rpBad)
 	fmt.Printf("  ARP (one-sided rule) violations: %d\n", arpBad)
 	if first != nil {
@@ -76,9 +94,13 @@ func main() {
 			fmt.Printf("  %v\n", v)
 		}
 	}
+	probed := "sampled crash"
+	if *exhaustive {
+		probed = "persist boundary"
+	}
 	switch {
 	case k.EnforcesRP() && rpBad == 0:
-		fmt.Printf("\n%s upholds Release Persistency: every sampled crash leaves a consistent cut.\n", k)
+		fmt.Printf("\n%s upholds Release Persistency: every %s leaves a consistent cut.\n", k, probed)
 	case k.EnforcesRP():
 		fmt.Printf("\nBUG: %s claims RP but violated it.\n", k)
 		os.Exit(1)

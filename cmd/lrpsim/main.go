@@ -6,7 +6,7 @@
 //	lrpsim -experiment fig5 [-threads 16] [-ops 100] [-scale 1.0] [-seed 7]
 //
 // Experiments: config (Table 1), fig5, fig6, fig7, fig8, size,
-// ablation-ret, ablation-readmix, all.
+// ablation-ret, ablation-readmix, faults (FAULTS.md sweeps), all.
 //
 // A single workload can also be run directly:
 //
@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment to run: config|fig5|fig6|fig7|fig8|size|ablation-ret|ablation-readmix|all")
+		experiment = flag.String("experiment", "", "experiment to run: config|fig5|fig6|fig7|fig8|size|ablation-ret|ablation-readmix|faults|all")
 		run        = flag.String("run", "", "run a single workload: linkedlist|hashmap|bstree|skiplist|queue")
 		mechanism  = flag.String("mechanism", "LRP", "mechanism for -run: NOP|SB|BB|ARP|LRP")
 		threads    = flag.Int("threads", 16, "worker threads")
@@ -142,6 +142,8 @@ func runExperiment(name string, opts lrp.ExperimentOpts) error {
 		return table(func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.AblationRET(o) })
 	case "ablation-readmix":
 		return table(func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.AblationReadMix(o) })
+	case "faults":
+		return table(func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.FaultReport(o) })
 	case "all":
 		fmt.Println(lrp.Table1().Format())
 		for _, g := range []gen{

@@ -1,0 +1,263 @@
+package lrp
+
+import (
+	"fmt"
+	"sort"
+
+	"lrp/internal/engine"
+	"lrp/internal/fault"
+	"lrp/internal/model"
+	"lrp/internal/recovery"
+	"lrp/internal/workload"
+)
+
+// Fault-injection and recovery types, re-exported for external use.
+type (
+	// FaultConfig tunes the deterministic fault-injection plane (torn
+	// lines, transient NVM faults, persist-engine stalls); set it as
+	// Config.Faults. The zero value injects nothing.
+	FaultConfig = fault.Config
+	// RecoveryReport is the outcome of a hardened recovery walk: what
+	// was recovered, what was quarantined, what was lost.
+	RecoveryReport = recovery.Report
+	// Recoverable ties a workload run's structure anchors to the
+	// recovery walkers (returned by RunRecoverableWorkload).
+	Recoverable = workload.Recoverable
+)
+
+// EnableAllFaults returns a FaultConfig with every injector active at
+// rates that exercise all the fault machinery in a short run.
+func EnableAllFaults(seed uint64) FaultConfig { return fault.EnableAll(seed) }
+
+// RunRecoverableWorkload is RunWorkload plus a Recoverable handle bound
+// to the run's structure, for recovery walks over crash images.
+func RunRecoverableWorkload(cfg Config, spec Spec) (*Result, *Machine, Recoverable, error) {
+	return workload.RunRecoverable(cfg, spec)
+}
+
+// CrashReport describes the durable state a crash at a given instant
+// would leave, and whether it satisfies the paper's recovery criterion.
+type CrashReport struct {
+	// At is the crash instant.
+	At Time
+	// PersistedWrites and TotalWrites count the execution's writes that
+	// had (respectively, had not yet) reached NVM.
+	PersistedWrites uint64
+	TotalWrites     uint64
+	// RPViolations are consistent-cut violations under Release
+	// Persistency: nonempty means null recovery is not guaranteed.
+	RPViolations []Violation
+	// ARPViolations are violations of the weaker ARP-rule.
+	ARPViolations []Violation
+	// Image is the reconstructed NVM image at the crash instant. With a
+	// fault plane attached it reflects word-granularity atomicity: lines
+	// mid-persist may be torn.
+	Image *Image
+	// Recovery is the hardened recovery walk over Image; nil unless the
+	// crash was taken through CrashRecover.
+	Recovery *RecoveryReport
+}
+
+// ConsistentCut reports whether the crash state satisfies RP.
+func (r *CrashReport) ConsistentCut() bool { return len(r.RPViolations) == 0 }
+
+// Crash reconstructs the durable state of machine m at instant at. The
+// machine must have been built with cfg.TrackHB = true.
+func Crash(m *Machine, at Time) (*CrashReport, error) {
+	tr := m.Tracker()
+	if tr == nil {
+		return nil, fmt.Errorf("lrp: crash analysis requires Config.TrackHB")
+	}
+	persisted, total := tr.PersistedCount(at)
+	m.Observer().CrashSnapshot(at, persisted, total)
+	return &CrashReport{
+		At:              at,
+		PersistedWrites: persisted,
+		TotalWrites:     total,
+		RPViolations:    tr.CheckCut(at, model.RP),
+		ARPViolations:   tr.CheckCut(at, model.ARP),
+		Image:           m.NVM().ImageAt(at, nil),
+	}, nil
+}
+
+// CrashRecover is Crash plus the hardened recovery walk over the crash
+// image, reported in CrashReport.Recovery and the obs registry.
+func CrashRecover(m *Machine, rec Recoverable, at Time) (*CrashReport, error) {
+	rep, err := Crash(m, at)
+	if err != nil {
+		return nil, err
+	}
+	rep.Recovery = rec.Recover(rep.Image)
+	m.Observer().RecoveryQuarantine(len(rep.Recovery.Quarantined))
+	return rep, nil
+}
+
+// sampleInstants draws up to n distinct crash instants over [0, end],
+// always including the first and last persist-completion times. Uniform
+// sampling alone is biased: it can draw duplicates (inflating apparent
+// coverage) and essentially never lands on the final persist boundary,
+// the instant most likely to expose an unordered last write.
+func sampleInstants(m *Machine, n int, seed uint64) []Time {
+	end := crashHorizon(m)
+	seen := make(map[Time]bool, n)
+	out := make([]Time, 0, n)
+	add := func(t Time) {
+		if t >= 0 && t <= end && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	if evs := m.NVM().Events(); len(evs) > 0 {
+		first, last := evs[0].Done, evs[0].Done
+		for _, e := range evs {
+			if e.Done < first {
+				first = e.Done
+			}
+			if e.Done > last {
+				last = e.Done
+			}
+		}
+		add(first)
+		add(last)
+	}
+	r := engine.NewRand(seed)
+	for tries := 0; len(out) < n && tries < 4*n+16; tries++ {
+		add(Time(r.Uint64n(uint64(end) + 1)))
+	}
+	return out
+}
+
+// FuzzCrashes samples up to n distinct crash instants over the machine's
+// execution — always probing the first and last persist boundaries — and
+// reports how many violate RP and how many violate the ARP-rule. It is
+// the tooling behind cmd/lrpcheck; SweepCrashBoundaries is the exhaustive
+// alternative.
+func FuzzCrashes(m *Machine, n int, seed uint64) (rpBad, arpBad int, firstRP *CrashReport, err error) {
+	tr := m.Tracker()
+	if tr == nil {
+		return 0, 0, nil, fmt.Errorf("lrp: crash analysis requires Config.TrackHB")
+	}
+	for _, at := range sampleInstants(m, n, seed) {
+		if v := tr.CheckCut(at, model.RP); len(v) > 0 {
+			rpBad++
+			if firstRP == nil {
+				firstRP, _ = Crash(m, at)
+			}
+		}
+		if v := tr.CheckCut(at, model.ARP); len(v) > 0 {
+			arpBad++
+		}
+	}
+	return rpBad, arpBad, firstRP, nil
+}
+
+// CrashBoundaries enumerates every instant at which the durable state can
+// change — each persist completion, one cycle either side of it — plus
+// the start and end of the execution, deduplicated and sorted. A crash
+// sweep over these instants provably covers every durable-state
+// transition: between consecutive persist completions the NVM image is
+// constant, so any violation or recovery failure visible at some instant
+// is visible at a boundary.
+// crashHorizon is the last instant worth crashing at: the end of core
+// execution or the last persist ack, whichever is later. Persist acks can
+// outlive m.Time() (a drain issues its final persists and the cores
+// retire while the NVM controllers are still writing), and those trailing
+// instants are exactly where an unordered last write shows up.
+func crashHorizon(m *Machine) Time {
+	end := m.Time()
+	for _, e := range m.NVM().Events() {
+		if e.Done > end {
+			end = e.Done
+		}
+	}
+	return end
+}
+
+func CrashBoundaries(m *Machine) []Time {
+	end := crashHorizon(m)
+	seen := make(map[Time]bool)
+	var out []Time
+	add := func(t Time) {
+		if t >= 0 && t <= end && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	add(0)
+	add(end)
+	for _, e := range m.NVM().Events() {
+		add(e.Done - 1)
+		add(e.Done)
+		add(e.Done + 1)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SweepReport aggregates an exhaustive crash-boundary sweep.
+type SweepReport struct {
+	// Boundaries is the number of crash instants examined.
+	Boundaries int
+	// RPBad and ARPBad count instants violating RP / the ARP-rule.
+	RPBad, ARPBad int
+	// FirstRP is the full report of the first RP-violating instant.
+	FirstRP *CrashReport
+	// WalksRun counts recovery walks performed (zero without a
+	// Recoverable); DirtyWalks those that quarantined or lost nodes;
+	// Quarantined the total nodes quarantined across all walks.
+	WalksRun, DirtyWalks, Quarantined int
+	// FirstDirty is the first non-clean recovery report, at FirstDirtyAt.
+	FirstDirty   *RecoveryReport
+	FirstDirtyAt Time
+}
+
+// Consistent reports the paper's claim for a correct mechanism: no RP
+// violation and no recovery walk that lost a node, at any boundary.
+func (r *SweepReport) Consistent() bool { return r.RPBad == 0 && r.DirtyWalks == 0 }
+
+func (r *SweepReport) String() string {
+	return fmt.Sprintf("sweep: %d boundaries, %d RP / %d ARP-rule violations, %d/%d recovery walks dirty (%d nodes quarantined)",
+		r.Boundaries, r.RPBad, r.ARPBad, r.DirtyWalks, r.WalksRun, r.Quarantined)
+}
+
+// SweepCrashBoundaries crashes the machine at every persist-completion
+// boundary (CrashBoundaries) and checks each durable state: the
+// consistent-cut criterion always, and — when rec is non-nil — a hardened
+// recovery walk over the reconstructed image. Images are advanced
+// incrementally through one cursor rather than rebuilt per instant, so
+// the sweep stays linear in persists + boundaries. The machine must have
+// been built with Config.TrackHB.
+func SweepCrashBoundaries(m *Machine, rec Recoverable) (*SweepReport, error) {
+	tr := m.Tracker()
+	if tr == nil {
+		return nil, fmt.Errorf("lrp: crash analysis requires Config.TrackHB")
+	}
+	bounds := CrashBoundaries(m)
+	rep := &SweepReport{Boundaries: len(bounds)}
+	cur := m.NVM().NewCursor(nil)
+	for _, at := range bounds {
+		if v := tr.CheckCut(at, model.RP); len(v) > 0 {
+			rep.RPBad++
+			if rep.FirstRP == nil {
+				rep.FirstRP, _ = Crash(m, at)
+			}
+		}
+		if v := tr.CheckCut(at, model.ARP); len(v) > 0 {
+			rep.ARPBad++
+		}
+		if rec == nil {
+			continue
+		}
+		r := rec.Recover(cur.AdvanceTo(at))
+		rep.WalksRun++
+		if !r.Clean() {
+			rep.DirtyWalks++
+			rep.Quarantined += len(r.Quarantined)
+			if rep.FirstDirty == nil {
+				rep.FirstDirty, rep.FirstDirtyAt = r, at
+			}
+		}
+		m.Observer().RecoveryQuarantine(len(r.Quarantined))
+	}
+	return rep, nil
+}

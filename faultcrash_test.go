@@ -1,0 +1,226 @@
+package lrp
+
+import (
+	"testing"
+)
+
+// faultCfg builds a tracked machine config with every fault injector on.
+func faultCfg(mech Mechanism, faultSeed uint64) Config {
+	cfg := DefaultConfig().WithMechanism(mech)
+	cfg.Cores = 4
+	cfg.TrackHB = true
+	cfg.Faults = EnableAllFaults(faultSeed)
+	return cfg
+}
+
+var faultSpec = Spec{Threads: 4, InitialSize: 64, OpsPerThread: 50, Seed: 31}
+
+// TestFaultSweepRPMechanisms is the hardened version of the repository's
+// strongest property: with torn lines, transient NVM faults and
+// persist-engine stalls all injected, every RP-enforcing mechanism must
+// leave a consistent cut at EVERY persist-completion boundary (not a
+// sample — the exhaustive scheduler), and the hardened recovery walk over
+// every one of those images — word-granularity tearing included — must
+// quarantine nothing.
+func TestFaultSweepRPMechanisms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive crash sweeps are expensive; skipped with -short")
+	}
+	for _, structure := range Structures {
+		for _, mech := range []Mechanism{SB, BB, LRP} {
+			structure, mech := structure, mech
+			t.Run(structure+"/"+mech.String(), func(t *testing.T) {
+				spec := faultSpec
+				spec.Structure = structure
+				_, m, rec, err := RunRecoverableWorkload(faultCfg(mech, 9), spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sweep, err := SweepCrashBoundaries(m, rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sweep.Boundaries < 3 {
+					t.Fatalf("sweep saw only %d boundaries", sweep.Boundaries)
+				}
+				if sweep.RPBad != 0 {
+					t.Fatalf("%v; first: %+v", sweep, sweep.FirstRP.RPViolations[0])
+				}
+				if sweep.DirtyWalks != 0 {
+					t.Fatalf("%v; first dirty at t=%v: %v (%v)",
+						sweep, sweep.FirstDirtyAt, sweep.FirstDirty, sweep.FirstDirty.Err())
+				}
+			})
+		}
+	}
+}
+
+// TestFaultSweepFindsARPGap: the same harness, same faults, under ARP
+// must still surface the paper's §3 gap — RP-violating boundaries whose
+// images the recovery walk cannot fully accept.
+func TestFaultSweepFindsARPGap(t *testing.T) {
+	spec := faultSpec
+	spec.Structure = "linkedlist"
+	spec.OpsPerThread = 60
+	_, m, rec, err := RunRecoverableWorkload(faultCfg(ARP, 1), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := SweepCrashBoundaries(m, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.RPBad == 0 {
+		t.Fatalf("ARP sweep found no RP violations: %v", sweep)
+	}
+	if sweep.ARPBad != 0 {
+		t.Fatalf("ARP violated its own one-sided rule: %v", sweep)
+	}
+	if sweep.DirtyWalks == 0 || sweep.Quarantined == 0 {
+		t.Fatalf("ARP gap left every recovery walk clean: %v", sweep)
+	}
+}
+
+// TestFaultSweepFindsNOPGap: with no persistency enforcement and an LLC
+// small enough to evict, writes persist in eviction order and the sweep
+// must find inconsistent boundaries.
+func TestFaultSweepFindsNOPGap(t *testing.T) {
+	cfg := faultCfg(NOP, 1)
+	cfg.LLCSize = 4 << 10 // force LLC evictions: NOP persists only then
+	cfg.LLCWays = 4
+	cfg.LLCBanks = 4
+	spec := faultSpec
+	spec.Structure = "linkedlist"
+	spec.InitialSize = 128
+	spec.OpsPerThread = 150
+	_, m, rec, err := RunRecoverableWorkload(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := SweepCrashBoundaries(m, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.RPBad == 0 {
+		t.Fatalf("NOP sweep found no RP violations: %v", sweep)
+	}
+}
+
+// TestFaultInjectionDeterministic: two machines with identical configs —
+// fault seeds included — execute cycle-for-cycle identically and report
+// identical fault accounting. Determinism is the fault plane's contract:
+// a failing seed replays exactly.
+func TestFaultInjectionDeterministic(t *testing.T) {
+	run := func() (Time, *SweepReport, [4]uint64) {
+		spec := faultSpec
+		spec.Structure = "hashmap"
+		_, m, rec, err := RunRecoverableWorkload(faultCfg(LRP, 1234), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweep, err := SweepCrashBoundaries(m, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nst := m.NVM().Stats()
+		fst := m.Faults().Stats()
+		return m.Time(), sweep, [4]uint64{nst.Retries, nst.BackoffCycles, fst.Stalls, fst.StallCycles}
+	}
+	t1, s1, c1 := run()
+	t2, s2, c2 := run()
+	if t1 != t2 {
+		t.Fatalf("execution times diverged: %v vs %v", t1, t2)
+	}
+	if s1.Boundaries != s2.Boundaries || s1.RPBad != s2.RPBad || s1.DirtyWalks != s2.DirtyWalks {
+		t.Fatalf("sweeps diverged: %v vs %v", s1, s2)
+	}
+	if c1 != c2 {
+		t.Fatalf("fault counters diverged: %v vs %v", c1, c2)
+	}
+	if c1[0] == 0 && c1[2] == 0 {
+		t.Fatal("no faults injected: the determinism check is vacuous")
+	}
+}
+
+// TestFaultSeedChangesExecution: a different fault seed must actually
+// change the machine's timing (stalls land elsewhere) — guarding against
+// the plane silently decoupling from the execution.
+func TestFaultSeedChangesExecution(t *testing.T) {
+	times := map[Time]bool{}
+	for _, seed := range []uint64{1, 2, 3, 4} {
+		spec := faultSpec
+		spec.Structure = "linkedlist"
+		_, m, err := RunWorkload(faultCfg(LRP, seed), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[m.Time()] = true
+	}
+	if len(times) == 1 {
+		t.Fatal("four fault seeds produced identical execution times")
+	}
+}
+
+// TestSampleInstantsUnbiased: the FuzzCrashes sampler must not draw
+// duplicate instants and must always include the first and last persist
+// completion times (the boundaries uniform sampling essentially never
+// hits).
+func TestSampleInstantsUnbiased(t *testing.T) {
+	cfg := DefaultConfig().WithMechanism(LRP)
+	cfg.Cores = 4
+	cfg.TrackHB = true
+	spec := faultSpec
+	spec.Structure = "linkedlist"
+	_, m, err := RunWorkload(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := sampleInstants(m, 100, 17)
+	seen := map[Time]bool{}
+	for _, at := range samples {
+		if seen[at] {
+			t.Fatalf("duplicate sample %v", at)
+		}
+		seen[at] = true
+	}
+	evs := m.NVM().Events()
+	if len(evs) == 0 {
+		t.Fatal("no persist events logged")
+	}
+	first, last := evs[0].Done, evs[0].Done
+	for _, e := range evs {
+		if e.Done < first {
+			first = e.Done
+		}
+		if e.Done > last {
+			last = e.Done
+		}
+	}
+	if !seen[first] || !seen[last] {
+		t.Fatalf("samples missed the first (%v) or last (%v) persist boundary", first, last)
+	}
+}
+
+// TestCrashRecoverAttachesReport: CrashRecover must attach the hardened
+// walk to the crash report and leave it clean under LRP.
+func TestCrashRecoverAttachesReport(t *testing.T) {
+	spec := faultSpec
+	spec.Structure = "queue"
+	_, m, rec, err := RunRecoverableWorkload(faultCfg(LRP, 5), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CrashRecover(m, rec, m.Time()/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovery == nil {
+		t.Fatal("CrashRecover left Recovery nil")
+	}
+	if !rep.Recovery.Clean() {
+		t.Fatalf("LRP crash image did not recover cleanly: %v", rep.Recovery)
+	}
+	if rec.Structure() != "queue" {
+		t.Fatalf("recoverable names %q", rec.Structure())
+	}
+}

@@ -1,0 +1,79 @@
+package lrp
+
+import (
+	"testing"
+)
+
+// FuzzCrashRecovery is the native fuzz entry over the crash-recovery
+// property: for ANY (workload seed, crash instant, fault mask), an
+// RP-enforcing mechanism must leave a consistent cut at the crash and the
+// hardened recovery walk over the reconstructed image — torn lines
+// included — must quarantine nothing.
+//
+//	go test -fuzz FuzzCrashRecovery -fuzztime 30s
+//
+// The seed corpus under testdata/fuzz/FuzzCrashRecovery pins the
+// interesting corners (every injector on/off, crash at 0, crash past the
+// last ack) and runs as plain unit tests in every `go test`.
+func FuzzCrashRecovery(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(1<<40), uint64(0xF))
+	f.Add(uint64(7), uint64(12345), uint64(0x31))
+	f.Add(uint64(14), uint64(999999), uint64(0x8))
+	f.Fuzz(func(t *testing.T, seed, crashSel, faultMask uint64) {
+		mech := []Mechanism{SB, BB, LRP}[seed%3]
+		structure := Structures[(seed>>2)%uint64(len(Structures))]
+
+		cfg := DefaultConfig().WithMechanism(mech)
+		cfg.Cores = 4
+		cfg.TrackHB = true
+		// Low bits of the mask pick the injectors, the rest seeds them.
+		cfg.Faults = FaultConfig{Seed: faultMask>>4 | 1}
+		if faultMask&1 != 0 {
+			cfg.Faults.TearProb = 0.5
+		}
+		if faultMask&2 != 0 {
+			cfg.Faults.WriteFaultProb = 0.05
+		}
+		if faultMask&4 != 0 {
+			cfg.Faults.ReadFaultProb = 0.05
+		}
+		if faultMask&8 != 0 {
+			cfg.Faults.StallProb = 0.1
+			cfg.Faults.StallMax = 2000
+		}
+
+		_, m, rec, err := RunRecoverableWorkload(cfg, Spec{
+			Structure:    structure,
+			Threads:      2,
+			InitialSize:  24,
+			OpsPerThread: 12,
+			Seed:         seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		at := Time(crashSel % uint64(crashHorizon(m)+1))
+		rep, err := CrashRecover(m, rec, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.ConsistentCut() {
+			t.Fatalf("%s/%s: crash at t=%v violates RP: %v",
+				mech, structure, at, rep.RPViolations[0])
+		}
+		if !rep.Recovery.Clean() {
+			t.Fatalf("%s/%s: dirty recovery at t=%v: %v (%v)",
+				mech, structure, at, rep.Recovery, rep.Recovery.Err())
+		}
+
+		// After a clean shutdown even the strict (unhardened) walkers must
+		// accept the final image — retries, giveups and stalls may delay
+		// persists but never lose them.
+		if err := rec.RecoverStrict(m.NVM().FinalImage(nil)); err != nil {
+			t.Fatalf("%s/%s: strict recovery of the final image failed: %v",
+				mech, structure, err)
+		}
+	})
+}

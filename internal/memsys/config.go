@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"lrp/internal/engine"
+	"lrp/internal/fault"
 	"lrp/internal/nvm"
 	"lrp/internal/obs"
 	"lrp/internal/persist"
@@ -75,6 +76,13 @@ type Config struct {
 	// log, which crash-consistency checking needs. Timing experiments
 	// leave it off: it does not change timing, only memory footprint.
 	TrackHB bool
+
+	// Faults configures the deterministic fault-injection plane (torn
+	// lines, transient NVM faults, persist-engine stalls). The zero value
+	// injects nothing and reproduces the idealized machine. Injection is
+	// part of the machine configuration — two runs with the same Config
+	// (including Faults.Seed) are cycle-for-cycle identical.
+	Faults fault.Config
 
 	// Obs attaches the observability layer (metrics registry plus
 	// optional cycle tracer) to every machine component. Nil disables
@@ -151,6 +159,9 @@ func (c Config) Validate() error {
 	}
 	if c.NVM.Controllers <= 0 {
 		return fmt.Errorf("memsys: need at least one NVM controller")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -83,6 +83,7 @@ func (s *System) scanDirty(tid int) []*cache.Line {
 // flushes and clean-shutdown drains.
 func (s *System) flushAllDirty(tid int, now engine.Time, critical bool) engine.Time {
 	th := s.threads[tid]
+	now = s.faultStall(tid, now)
 	dirty := s.scanDirty(tid)
 	horizon := th.pending.MaxTime(now)
 	var released []*cache.Line

@@ -33,6 +33,10 @@ func (m *lrpMech) kind() persist.Kind { return persist.LRP }
 func (m *lrpMech) persistReleased(tid int, l *cache.Line, now engine.Time, critical bool) engine.Time {
 	s := m.s
 	th := s.threads[tid]
+	// An injected NVM-machinery stall delays the whole engine run; every
+	// ordering hold rides on the returned ack times, so the run's persists
+	// land later but in the same order.
+	now = s.faultStall(tid, now)
 	trigger := persist.LineRef{Addr: l.Addr, MinEpoch: l.MinEpoch, Released: true}
 
 	// Scan the L1 (§5.2.2: the engine examines all cache lines).

@@ -5,6 +5,7 @@ import (
 
 	"lrp/internal/cache"
 	"lrp/internal/engine"
+	"lrp/internal/fault"
 	"lrp/internal/isa"
 	"lrp/internal/mm"
 	"lrp/internal/model"
@@ -109,6 +110,9 @@ type System struct {
 
 	staticArena *mm.Arena
 
+	// faults is the fault-injection plane; nil on the idealized machine.
+	faults *fault.Plane
+
 	stats Stats
 
 	// obs is the observability layer; nil when disabled. Hooks guard on
@@ -137,6 +141,10 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.TrackHB {
 		s.tracker = model.NewTracker(cfg.Cores)
+	}
+	if cfg.Faults.Enabled() {
+		s.faults = fault.MustNew(cfg.Faults) // Validate ran above
+		s.nvm.SetFaults(s.faults)
 	}
 	if s.obs != nil {
 		s.nvm.SetObserver(s.obs)
@@ -189,6 +197,9 @@ func (s *System) Stats() Stats { return s.stats }
 
 // Observer returns the attached observability layer (nil when disabled).
 func (s *System) Observer() *obs.Observer { return s.obs }
+
+// Faults returns the fault-injection plane (nil on the idealized machine).
+func (s *System) Faults() *fault.Plane { return s.faults }
 
 // L1 exposes core i's private cache (tests and tooling).
 func (s *System) L1(i int) *cache.L1 { return s.l1s[i] }
@@ -260,6 +271,13 @@ func (s *System) persistL1Line(tid int, l *cache.Line, now, earliest engine.Time
 	}
 	l.ClearPersistMeta()
 	l.FlushedUntil = int64(done)
+	// Invariant I4 is structural: any line with a persist in flight is
+	// held at the directory until the ack, whatever path issued it. The
+	// per-mechanism blockLine calls tighten this with chained (epoch-
+	// ordered) acks; without it, an eviction persist whose ack is delayed
+	// (fault retry/backoff) would let another core read — and re-persist
+	// behind — data that is not yet durable.
+	s.blockLine(l.Addr, done)
 	s.stats.Persists++
 	if critical {
 		s.stats.CriticalPersists++
@@ -281,6 +299,7 @@ func (s *System) persistAddr(tid int, addr isa.Addr, stamps []model.Stamp, now, 
 	if s.obs != nil {
 		s.obs.PersistIssued(tid, uint64(addr), now, done, critical)
 	}
+	s.blockLine(addr, done)
 	s.stats.Persists++
 	if critical {
 		s.stats.CriticalPersists++
@@ -312,6 +331,25 @@ func (s *System) stall(tid int, cause obs.StallCause, from, to engine.Time) {
 			s.obs.Stall(tid, cause, from, to)
 		}
 	}
+}
+
+// faultStall injects an NVM-machinery stall (patrol scrub, wear-leveling
+// move) in front of a persist-engine run by thread tid, returning the
+// delayed start time. The delay shifts when the run's persists reach the
+// controllers; every ordering hold travels with the returned time, so a
+// stall widens the crash-vulnerable window without reordering persists.
+func (s *System) faultStall(tid int, now engine.Time) engine.Time {
+	if s.faults == nil {
+		return now
+	}
+	d := s.faults.EngineStall(tid, now)
+	if d <= 0 {
+		return now
+	}
+	if s.obs != nil {
+		s.obs.EngineStallInjected(tid, d)
+	}
+	return now + d
 }
 
 // dbgLine enables persist tracing for one line address (debug builds).

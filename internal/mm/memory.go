@@ -87,6 +87,25 @@ func (m *Memory) WriteLine(a isa.Addr, words [isa.WordsPerLine]uint64) {
 // Pages reports how many pages have been materialized.
 func (m *Memory) Pages() int { return len(m.pages) }
 
+// Equal reports whether the two memories hold identical contents, with
+// never-written words reading as zero on both sides.
+func (m *Memory) Equal(o *Memory) bool {
+	var zero page
+	eq := func(a, b *Memory) bool {
+		for pn, p := range a.pages {
+			q := b.pages[pn]
+			if q == nil {
+				q = &zero
+			}
+			if *p != *q {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(m, o) && eq(o, m)
+}
+
 // Clone returns a deep copy of the memory. Crash snapshots use this to
 // freeze the NVM image at the crash instant.
 func (m *Memory) Clone() *Memory {

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"lrp/internal/engine"
+	"lrp/internal/fault"
 	"lrp/internal/isa"
 	"lrp/internal/mm"
 	"lrp/internal/obs"
@@ -52,6 +53,14 @@ type Config struct {
 	// LogEvents enables the persist event log needed for crash-image
 	// reconstruction. Timing-only experiments leave it off.
 	LogEvents bool
+	// MaxRetries bounds how many times a controller re-attempts an
+	// access the fault plane rejected before escalating (remapping the
+	// line to a spare block). Only consulted when a fault plane is
+	// attached.
+	MaxRetries int
+	// RetryBase is the backoff before the first retry; each further
+	// retry doubles it (exponential backoff).
+	RetryBase engine.Time
 }
 
 // DefaultConfig mirrors Table 1 of the paper.
@@ -63,6 +72,8 @@ func DefaultConfig() Config {
 		UncachedLat: 350,
 		CachedOcc:   16,
 		UncachedOcc: 116,
+		MaxRetries:  3,
+		RetryBase:   16,
 	}
 }
 
@@ -74,6 +85,16 @@ type Stats struct {
 	Reads uint64
 	// BytesPersisted is Persists * line size.
 	BytesPersisted uint64
+	// Retries counts injected-fault retry attempts the controllers
+	// absorbed (writes and reads); BackoffCycles their total backoff.
+	Retries       uint64
+	BackoffCycles uint64
+	// Giveups counts accesses that exhausted the retry budget and were
+	// escalated (line remapped to a spare block).
+	Giveups uint64
+	// TornApplied counts torn (word-subset) line applications during
+	// crash-image reconstruction.
+	TornApplied uint64
 }
 
 // Sub returns the counter deltas s - before, field by field.
@@ -81,8 +102,13 @@ func (s Stats) Sub(before Stats) Stats { return stats.Delta(s, before) }
 
 // Event is one completed (or in-flight) line persist.
 type Event struct {
-	// Done is when the persist completed at the controller.
-	Done engine.Time
+	// Start is when the media write began; Done is when the persist
+	// completed (acked) at the controller. A crash inside [Start, Done)
+	// finds the line mid-persist: under the idealized NVM it contributes
+	// nothing, under a fault plane with tearing it may contribute a
+	// word subset.
+	Start engine.Time
+	Done  engine.Time
 	// Line is the line base address.
 	Line isa.Addr
 	// Words is the line content captured when the persist was issued.
@@ -99,6 +125,9 @@ type Subsystem struct {
 	// o feeds per-controller metrics (persists, reads, queue delay); nil
 	// unless SetObserver was called.
 	o *obs.Observer
+	// faults injects controller rejections, read errors and torn lines;
+	// nil models a perfect NVM.
+	faults *fault.Plane
 }
 
 // New builds the subsystem.
@@ -139,6 +168,49 @@ func (s *Subsystem) Stats() Stats { return s.stats }
 // SetObserver attaches the observability layer.
 func (s *Subsystem) SetObserver(o *obs.Observer) { s.o = o }
 
+// SetFaults attaches a fault-injection plane (nil: perfect NVM).
+func (s *Subsystem) SetFaults(p *fault.Plane) { s.faults = p }
+
+// Faults returns the attached fault plane (nil when none).
+func (s *Subsystem) Faults() *fault.Plane { return s.faults }
+
+// retryDelay converts an injected rejection count into the controller's
+// total exponential-backoff delay and updates the retry counters. It
+// reports whether the access exhausted its retry budget (giveup).
+func (s *Subsystem) retryDelay(ctrl int, rejects int) (engine.Time, bool) {
+	if rejects == 0 {
+		return 0, false
+	}
+	gaveUp := rejects > s.cfg.MaxRetries
+	retries := rejects
+	if gaveUp {
+		retries = s.cfg.MaxRetries
+	}
+	base := s.cfg.RetryBase
+	if base <= 0 {
+		base = 1
+	}
+	var backoff engine.Time
+	for k := 0; k < retries; k++ {
+		backoff += base << k
+	}
+	s.stats.Retries += uint64(retries)
+	s.stats.BackoffCycles += uint64(backoff)
+	if s.o != nil {
+		s.o.NVMRetry(ctrl, retries, backoff)
+	}
+	if gaveUp {
+		// Retry budget exhausted: the controller remaps the line to a
+		// spare block and completes there, at a penalty.
+		s.stats.Giveups++
+		backoff += 4 * s.Latency()
+		if s.o != nil {
+			s.o.NVMGiveup(ctrl)
+		}
+	}
+	return backoff, gaveUp
+}
+
 func (s *Subsystem) controller(line isa.Addr) *engine.Server {
 	return s.banks.Bank(uint64(line) >> isa.LineShift)
 }
@@ -159,17 +231,30 @@ func (s *Subsystem) PersistLine(now, earliestStart engine.Time, line isa.Addr, w
 	if earliestStart < now {
 		earliestStart = now
 	}
+	ctrl := s.controllerIndex(line)
+	// Transient controller faults: each rejected attempt re-arrives
+	// after an exponentially growing backoff, so the command reaches the
+	// controller late but with its ordering constraint intact.
+	if s.faults != nil {
+		rejects := s.faults.WriteFaults(line, now, s.cfg.MaxRetries+1)
+		if delay, _ := s.retryDelay(ctrl, rejects); delay > 0 {
+			now += delay
+			if earliestStart < now {
+				earliestStart = now
+			}
+		}
+	}
 	srv := s.controller(line)
 	if s.o != nil {
 		// Queue delay: how long the command waits behind earlier traffic
 		// before the controller accepts it (the bandwidth term).
-		s.o.NVMPersist(s.controllerIndex(line), srv.FreeAt(now)-now)
+		s.o.NVMPersist(ctrl, srv.FreeAt(now)-now)
 	}
 	done := srv.ServeConstrained(now, earliestStart, s.Latency(), s.Occupancy())
 	s.stats.Persists++
 	s.stats.BytesPersisted += isa.LineSize
 	if s.cfg.LogEvents {
-		s.log = append(s.log, Event{Done: done, Line: line, Words: words})
+		s.log = append(s.log, Event{Start: done - s.Latency(), Done: done, Line: line, Words: words})
 	}
 	return done
 }
@@ -177,10 +262,20 @@ func (s *Subsystem) PersistLine(now, earliestStart engine.Time, line isa.Addr, w
 // ReadLine books a line fill from NVM at time now and returns the time
 // the data is available. Reads contend with persists at the controller.
 func (s *Subsystem) ReadLine(now engine.Time, line isa.Addr) engine.Time {
-	done := s.controller(line.Line()).ServePipelined(now, s.Latency(), s.Occupancy())
+	line = line.Line()
+	ctrl := s.controllerIndex(line)
+	if s.faults != nil {
+		// Media read errors: the controller re-reads with backoff before
+		// the fill is delivered.
+		rejects := s.faults.ReadFaults(line, now, s.cfg.MaxRetries+1)
+		if delay, _ := s.retryDelay(ctrl, rejects); delay > 0 {
+			now += delay
+		}
+	}
+	done := s.controller(line).ServePipelined(now, s.Latency(), s.Occupancy())
 	s.stats.Reads++
 	if s.o != nil {
-		s.o.NVMRead(s.controllerIndex(line.Line()))
+		s.o.NVMRead(ctrl)
 	}
 	return done
 }
@@ -192,6 +287,12 @@ func (s *Subsystem) Events() []Event { return s.log }
 // persists with Done ≤ crash applied in completion order over base (the
 // memory contents that existed before the measured run; may be nil for an
 // all-zero initial image).
+//
+// With a fault plane that injects tearing, a persist still in flight at
+// the crash (Start ≤ crash < Done) additionally contributes a
+// deterministic subset of its 8-byte words — the word-granularity failure
+// atomicity real persistent memory guarantees, instead of the idealized
+// whole-line atomicity.
 func (s *Subsystem) ImageAt(crash engine.Time, base *mm.Memory) *mm.Memory {
 	var img *mm.Memory
 	if base != nil {
@@ -200,17 +301,41 @@ func (s *Subsystem) ImageAt(crash engine.Time, base *mm.Memory) *mm.Memory {
 		img = mm.NewMemory()
 	}
 	// Sort a copy by completion time; ties resolved by log order, which
-	// matches per-controller FIFO order for same-line events.
+	// matches per-controller FIFO order for same-line events. Completed
+	// events (Done ≤ crash) sort before in-flight ones, so torn subsets
+	// always land on top of the durable prefix.
 	evs := make([]Event, len(s.log))
 	copy(evs, s.log)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Done < evs[j].Done })
 	for _, e := range evs {
-		if e.Done > crash {
-			break
+		if e.Done <= crash {
+			img.WriteLine(e.Line, e.Words)
+			continue
 		}
-		img.WriteLine(e.Line, e.Words)
+		if s.faults == nil || e.Start > crash {
+			continue
+		}
+		s.applyTorn(img, e)
 	}
 	return img
+}
+
+// applyTorn applies the durable word subset of an in-flight persist, if
+// the fault plane tears it.
+func (s *Subsystem) applyTorn(img *mm.Memory, e Event) {
+	mask, torn := s.faults.TornWords(e.Line, e.Done)
+	if !torn {
+		return
+	}
+	s.stats.TornApplied++
+	if s.o != nil {
+		s.o.FaultTear()
+	}
+	for i := 0; i < isa.WordsPerLine; i++ {
+		if mask&(1<<i) != 0 {
+			img.Write(e.Line+isa.Addr(i*isa.WordSize), e.Words[i])
+		}
+	}
 }
 
 // FinalImage reconstructs the durable image after all logged persists.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"lrp/internal/engine"
+	"lrp/internal/fault"
 	"lrp/internal/isa"
 	"lrp/internal/mm"
 )
@@ -172,4 +173,171 @@ func TestPersistAlignsToLine(t *testing.T) {
 		t.Fatal("persist did not cover the whole line")
 	}
 	_ = engine.Time(0)
+}
+
+// --- fault injection ---
+
+func faultyNVM(t *testing.T, fc fault.Config) *Subsystem {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Controllers = 1
+	cfg.LogEvents = true
+	s := New(cfg)
+	s.SetFaults(fault.MustNew(fc))
+	return s
+}
+
+func TestRetryBackoffDeterministic(t *testing.T) {
+	fc := fault.Config{Seed: 11, WriteFaultProb: 0.4, ReadFaultProb: 0.4}
+	a := faultyNVM(t, fc)
+	b := faultyNVM(t, fc)
+	for i := 0; i < 200; i++ {
+		line := isa.Addr(i * isa.LineSize)
+		now := engine.Time(i * 5)
+		if da, db := a.PersistLine(now, now, line, words(uint64(i))), b.PersistLine(now, now, line, words(uint64(i))); da != db {
+			t.Fatalf("persist %d: %v != %v", i, da, db)
+		}
+		if da, db := a.ReadLine(now, line), b.ReadLine(now, line); da != db {
+			t.Fatalf("read %d: %v != %v", i, da, db)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged:\n%+v\n%+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Retries == 0 || a.Stats().BackoffCycles == 0 {
+		t.Fatalf("no retries injected at p=0.4: %+v", a.Stats())
+	}
+}
+
+func TestRetryDelaysCompletion(t *testing.T) {
+	// With faults at p=1 every attempt is rejected: the access exhausts
+	// MaxRetries, gives up, and completes with backoff plus the
+	// spare-block remap penalty — later than the fault-free time, never
+	// earlier, and without losing the line content.
+	s := faultyNVM(t, fault.Config{Seed: 1, WriteFaultProb: 1})
+	done := s.PersistLine(0, 0, 0x1000, words(9))
+	clean := New(func() Config { c := DefaultConfig(); c.Controllers = 1; return c }())
+	if base := clean.PersistLine(0, 0, 0x1000, words(9)); done <= base {
+		t.Fatalf("faulted persist done at %v, fault-free at %v", done, base)
+	}
+	st := s.Stats()
+	if st.Giveups != 1 || st.Retries != uint64(s.cfg.MaxRetries) {
+		t.Fatalf("giveup accounting: %+v", st)
+	}
+	if img := s.FinalImage(nil); img.Read(0x1000) != 9 {
+		t.Fatal("giveup lost the line content")
+	}
+}
+
+func TestTornImageAt(t *testing.T) {
+	s := faultyNVM(t, fault.Config{Seed: 21, TearProb: 1})
+	line := isa.Addr(0x2000)
+	done := s.PersistLine(0, 0, line, words(7))
+	ev := s.Events()[0]
+	if ev.Start != done-s.Latency() {
+		t.Fatalf("event start %v, want %v", ev.Start, done-s.Latency())
+	}
+	// Before the media write begins: nothing durable.
+	if img := s.ImageAt(ev.Start-1, nil); img.Read(line) != 0 {
+		t.Fatal("tear applied before persist started")
+	}
+	// Mid-persist: exactly the torn word subset.
+	mask, torn := s.Faults().TornWords(line, done)
+	if !torn {
+		t.Fatal("TearProb=1 did not tear")
+	}
+	img := s.ImageAt(done-1, nil)
+	for i := 0; i < isa.WordsPerLine; i++ {
+		a := line + isa.Addr(i*isa.WordSize)
+		want := uint64(0)
+		if mask&(1<<i) != 0 {
+			want = 7
+		}
+		if got := img.Read(a); got != want {
+			t.Fatalf("word %d: got %d want %d (mask %x)", i, got, want, mask)
+		}
+	}
+	// At the ack: the whole line, torn overlay superseded.
+	if img := s.ImageAt(done, nil); img.Read(line) != 7 || img.Read(line+56) != 7 {
+		t.Fatal("completed persist still torn")
+	}
+	if s.Stats().TornApplied == 0 {
+		t.Fatal("tear not counted")
+	}
+}
+
+func TestTearsMonotoneAcrossInstants(t *testing.T) {
+	// As the crash instant advances through the in-flight window, a
+	// torn line only gains words: the same (line, done) tear applies at
+	// every instant, then the full line at the ack.
+	s := faultyNVM(t, fault.Config{Seed: 5, TearProb: 0.7})
+	var acks []engine.Time
+	for i := 0; i < 40; i++ {
+		acks = append(acks, s.PersistLine(engine.Time(i*9), 0, isa.Addr(i%8*isa.LineSize), words(uint64(i+1))))
+	}
+	prev := map[isa.Addr]uint64{}
+	for t1 := engine.Time(0); t1 <= acks[len(acks)-1]+1; t1 += 7 {
+		img := s.ImageAt(t1, nil)
+		for i := 0; i < 8; i++ {
+			for w := 0; w < isa.WordsPerLine; w++ {
+				a := isa.Addr(i*isa.LineSize + w*isa.WordSize)
+				v := img.Read(a)
+				if pv, ok := prev[a]; ok && v == 0 && pv != 0 {
+					t.Fatalf("word %x went durable→zero as crash advanced to %v", a, t1)
+				}
+				prev[a] = v
+			}
+		}
+	}
+}
+
+func TestCursorMatchesImageAt(t *testing.T) {
+	s := faultyNVM(t, fault.EnableAll(77))
+	base := mm.NewMemory()
+	base.Write(0x8000, 42)
+	var last engine.Time
+	for i := 0; i < 120; i++ {
+		d := s.PersistLine(engine.Time(i*3), engine.Time(i*2), isa.Addr((i%16)*isa.LineSize), words(uint64(i+1)))
+		if d > last {
+			last = d
+		}
+	}
+	cur := s.NewCursor(base)
+	for t1 := engine.Time(0); t1 <= last+2; t1 += 5 {
+		got := cur.AdvanceTo(t1)
+		want := s.ImageAt(t1, base)
+		if !got.Equal(want) {
+			t.Fatalf("cursor image diverges from ImageAt at %v", t1)
+		}
+	}
+	if cur.At() <= 0 {
+		t.Fatal("cursor time not advanced")
+	}
+	// Monotonicity is enforced.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards AdvanceTo did not panic")
+		}
+	}()
+	cur.AdvanceTo(0)
+}
+
+func TestCursorNoFaultsMatchesImageAt(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Controllers = 2
+	cfg.LogEvents = true
+	s := New(cfg)
+	var last engine.Time
+	for i := 0; i < 60; i++ {
+		d := s.PersistLine(engine.Time(i*4), 0, isa.Addr((i%6)*isa.LineSize), words(uint64(i+100)))
+		if d > last {
+			last = d
+		}
+	}
+	cur := s.NewCursor(nil)
+	for t1 := engine.Time(0); t1 <= last+1; t1++ {
+		if !cur.AdvanceTo(t1).Equal(s.ImageAt(t1, nil)) {
+			t.Fatalf("cursor diverges at %v", t1)
+		}
+	}
 }

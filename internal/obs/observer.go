@@ -54,9 +54,18 @@ type Observer struct {
 	nvmRead   []*Counter
 	nvmQDelay []*Histogram // cycles a persist waited for its controller
 
+	// Fault-injection families (all zero unless a fault plane is attached).
+	nvmRetry    []*Counter   // injected-fault retries absorbed per controller
+	nvmGiveup   []*Counter   // retry budgets exhausted per controller
+	nvmBackoff  []*Histogram // per-access total backoff cycles
+	stallInj    []*Counter   // injected persist-engine stalls per core
+	stallInjCyc []*Counter   // their total injected cycles
+
 	// Machine-wide.
 	dirEntries *Counter
 	dirInval   *Counter
+	faultTears *Counter // torn-line applications during image reconstruction
+	recQuar    *Counter // nodes quarantined by recovery walks
 }
 
 // New builds an Observer for the given topology with every instrument
@@ -117,13 +126,23 @@ func New(cfg Config) *Observer {
 	o.nvmPersis = make([]*Counter, cfg.Controllers)
 	o.nvmRead = make([]*Counter, cfg.Controllers)
 	o.nvmQDelay = make([]*Histogram, cfg.Controllers)
+	o.nvmRetry = make([]*Counter, cfg.Controllers)
+	o.nvmGiveup = make([]*Counter, cfg.Controllers)
+	o.nvmBackoff = make([]*Histogram, cfg.Controllers)
 	for i := range o.nvmPersis {
 		o.nvmPersis[i] = o.reg.Counter(fmt.Sprintf("nvm/persists/ctrl%d", i))
 		o.nvmRead[i] = o.reg.Counter(fmt.Sprintf("nvm/reads/ctrl%d", i))
 		o.nvmQDelay[i] = o.reg.Histogram(fmt.Sprintf("nvm/queue_delay/ctrl%d", i))
+		o.nvmRetry[i] = o.reg.Counter(fmt.Sprintf("nvm/retries/ctrl%d", i))
+		o.nvmGiveup[i] = o.reg.Counter(fmt.Sprintf("nvm/giveups/ctrl%d", i))
+		o.nvmBackoff[i] = o.reg.Histogram(fmt.Sprintf("nvm/backoff/ctrl%d", i))
 	}
+	o.stallInj = perCoreC("fault/engine_stalls")
+	o.stallInjCyc = perCoreC("fault/engine_stall_cycles")
 	o.dirEntries = o.reg.Counter("dir/entries_created")
 	o.dirInval = o.reg.Counter("dir/invalidations")
+	o.faultTears = o.reg.Counter("fault/tears")
+	o.recQuar = o.reg.Counter("recovery/quarantined_nodes")
 	return o
 }
 
@@ -360,6 +379,63 @@ func (o *Observer) NVMRead(ctrl int) {
 		return
 	}
 	o.nvmRead[ctrl].Inc()
+}
+
+// NVMRetry records injected-fault retries a controller absorbed on one
+// access, with the total backoff delay they cost.
+func (o *Observer) NVMRetry(ctrl int, retries int, backoff engine.Time) {
+	if o == nil {
+		return
+	}
+	if ctrl < 0 || ctrl >= len(o.nvmRetry) {
+		return
+	}
+	o.nvmRetry[ctrl].Add(uint64(retries))
+	if backoff < 0 {
+		backoff = 0
+	}
+	o.nvmBackoff[ctrl].Observe(uint64(backoff))
+}
+
+// NVMGiveup records an access that exhausted its retry budget and was
+// escalated (line remapped to a spare block).
+func (o *Observer) NVMGiveup(ctrl int) {
+	if o == nil {
+		return
+	}
+	if ctrl < 0 || ctrl >= len(o.nvmGiveup) {
+		return
+	}
+	o.nvmGiveup[ctrl].Inc()
+}
+
+// FaultTear records a torn-line application during crash-image
+// reconstruction.
+func (o *Observer) FaultTear() {
+	if o == nil {
+		return
+	}
+	o.faultTears.Inc()
+}
+
+// EngineStallInjected records an injected persist-engine stall on a core
+// and its length.
+func (o *Observer) EngineStallInjected(core int, d engine.Time) {
+	if o == nil || d <= 0 {
+		return
+	}
+	if i, ok := clampCore(len(o.stallInj), core); ok {
+		o.stallInj[i].Inc()
+		o.stallInjCyc[i].Add(uint64(d))
+	}
+}
+
+// RecoveryQuarantine records nodes a recovery walk quarantined.
+func (o *Observer) RecoveryQuarantine(n int) {
+	if o == nil || n <= 0 {
+		return
+	}
+	o.recQuar.Add(uint64(n))
 }
 
 // DirEntryCreated records a directory entry materializing on first touch.

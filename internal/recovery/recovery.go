@@ -26,8 +26,9 @@ import (
 func DefaultVal(key uint64) uint64 { return key*2 + 1 }
 
 // maxSteps bounds every walk so a corrupted image with a pointer cycle
-// terminates with an error instead of looping.
-const maxSteps = 1 << 22
+// terminates with an error instead of looping. It is a variable only so
+// tests can exercise the bound without walking millions of steps.
+var maxSteps = 1 << 22
 
 // Corruption describes one structural violation found in a crash image.
 type Corruption struct {
@@ -86,6 +87,11 @@ func walkChain(img *mm.Memory, structure string, headCell isa.Addr, lower uint64
 		node := isa.Addr(clean(ptr))
 		if node == 0 {
 			return st, nil
+		}
+		if !node.Aligned() {
+			// clean strips only the mark/flag bits; a garbage pointer with
+			// bit 2 set would fault the word-addressed image reads.
+			return nil, Corruption{structure, node, "misaligned node pointer"}
 		}
 		key := img.Read(node + 0)
 		val := img.Read(node + 8)
@@ -148,6 +154,9 @@ func WalkBST(img *mm.Memory, root isa.Addr, sentinel uint64) (*SetState, error) 
 		steps++
 		if steps > maxSteps {
 			return Corruption{"bstree", node, "walk exceeded step bound (cycle?)"}
+		}
+		if !node.Aligned() {
+			return Corruption{"bstree", node, "misaligned node pointer"}
 		}
 		key := img.Read(node + 0)
 		left := clean(img.Read(node + 16))
@@ -223,6 +232,9 @@ func WalkSkipListIndex(img *mm.Memory, head isa.Addr, maxHeight int) (*SetState,
 			if node == 0 {
 				break
 			}
+			if !node.Aligned() {
+				return nil, Corruption{"skiplist", node, "misaligned node pointer"}
+			}
 			key := img.Read(node + 0)
 			height := img.Read(node + 16)
 			deleted := img.Read(node+24)&markBit != 0
@@ -263,6 +275,9 @@ func walkSkipBottom(img *mm.Memory, head isa.Addr) (*SetState, map[uint64]bool, 
 		node := isa.Addr(clean(ptr))
 		if node == 0 {
 			break
+		}
+		if !node.Aligned() {
+			return nil, nil, Corruption{"skiplist", node, "misaligned node pointer"}
 		}
 		key := img.Read(node + 0)
 		val := img.Read(node + 8)
@@ -316,6 +331,9 @@ func WalkQueue(img *mm.Memory, head, tail isa.Addr) (*QueueState, error) {
 			return nil, Corruption{"queue", head, "walk exceeded step bound (cycle?)"}
 		}
 		node := isa.Addr(ptr)
+		if !node.Aligned() {
+			return nil, Corruption{"queue", node, "misaligned node pointer"}
+		}
 		if ptr == tp {
 			sawTail = true
 		}
@@ -323,6 +341,9 @@ func WalkQueue(img *mm.Memory, head, tail isa.Addr) (*QueueState, error) {
 		st.Nodes++
 		if next == 0 {
 			break
+		}
+		if !isa.Addr(next).Aligned() {
+			return nil, Corruption{"queue", isa.Addr(next), "misaligned node pointer"}
 		}
 		val := img.Read(isa.Addr(next) + 0)
 		if val == 0 {

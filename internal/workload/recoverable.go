@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"lrp/internal/lfds"
+	"lrp/internal/mm"
+	"lrp/internal/recovery"
+)
+
+// Recoverable ties a finished run's structure anchors to the recovery
+// walkers, so crash tooling can walk any reconstructed image without
+// knowing which of the five structures the workload built.
+type Recoverable interface {
+	// Structure names the walked structure (one of Structures).
+	Structure() string
+	// Recover performs the hardened null-recovery walk over img:
+	// corrupt nodes are quarantined into the report, never panicking.
+	Recover(img *mm.Memory) *recovery.Report
+	// RecoverStrict performs the strict walk, failing on the first
+	// structural violation (nil error: the image recovered in full).
+	RecoverStrict(img *mm.Memory) error
+}
+
+type recoverableSet struct {
+	name string
+	set  lfds.Set
+}
+
+func (r recoverableSet) Structure() string { return r.name }
+
+func (r recoverableSet) Recover(img *mm.Memory) *recovery.Report {
+	switch s := r.set.(type) {
+	case *lfds.LinkedList:
+		return recovery.ReportList(img, s.Head())
+	case *lfds.HashMap:
+		base, n := s.Buckets()
+		return recovery.ReportHashMap(img, base, n, s.BucketOf)
+	case *lfds.BST:
+		return recovery.ReportBST(img, s.Root(), lfds.BSTSentinel)
+	case *lfds.SkipList:
+		return recovery.ReportSkipList(img, s.Head(), lfds.MaxHeight)
+	}
+	panic("workload: unknown set structure")
+}
+
+func (r recoverableSet) RecoverStrict(img *mm.Memory) error {
+	var err error
+	switch s := r.set.(type) {
+	case *lfds.LinkedList:
+		_, err = recovery.WalkList(img, s.Head())
+	case *lfds.HashMap:
+		base, n := s.Buckets()
+		_, err = recovery.WalkHashMap(img, base, n, s.BucketOf)
+	case *lfds.BST:
+		_, err = recovery.WalkBST(img, s.Root(), lfds.BSTSentinel)
+	case *lfds.SkipList:
+		_, err = recovery.WalkSkipList(img, s.Head(), lfds.MaxHeight)
+	default:
+		panic("workload: unknown set structure")
+	}
+	return err
+}
+
+type recoverableQueue struct {
+	q *lfds.Queue
+}
+
+func (r recoverableQueue) Structure() string { return "queue" }
+
+func (r recoverableQueue) Recover(img *mm.Memory) *recovery.Report {
+	head, tail := r.q.Anchors()
+	return recovery.ReportQueue(img, head, tail)
+}
+
+func (r recoverableQueue) RecoverStrict(img *mm.Memory) error {
+	head, tail := r.q.Anchors()
+	_, err := recovery.WalkQueue(img, head, tail)
+	return err
+}

@@ -124,15 +124,22 @@ func (r *Result) CriticalWritebackPct() float64 {
 // returns the measured window's results. The returned System allows
 // further inspection (crash analysis, recovery) when cfg.TrackHB is set.
 func Run(cfg memsys.Config, spec Spec) (*Result, *memsys.System, error) {
+	res, sys, _, err := RunRecoverable(cfg, spec)
+	return res, sys, err
+}
+
+// RunRecoverable is Run plus a Recoverable handle bound to the run's
+// structure anchors, for crash-image recovery walks after the fact.
+func RunRecoverable(cfg memsys.Config, spec Spec) (*Result, *memsys.System, Recoverable, error) {
 	if err := spec.Validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if spec.Threads > cfg.Cores {
-		return nil, nil, fmt.Errorf("workload: %d threads exceed %d cores", spec.Threads, cfg.Cores)
+		return nil, nil, nil, fmt.Errorf("workload: %d threads exceed %d cores", spec.Threads, cfg.Cores)
 	}
 	sys, err := memsys.New(cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	if spec.Structure == "queue" {
@@ -164,7 +171,7 @@ func buildSet(sys *memsys.System, spec Spec) lfds.Set {
 	panic("unreachable: spec validated")
 }
 
-func runSet(sys *memsys.System, spec Spec) (*Result, *memsys.System, error) {
+func runSet(sys *memsys.System, spec Spec) (*Result, *memsys.System, Recoverable, error) {
 	set := buildSet(sys, spec)
 	kr := spec.keyRange()
 
@@ -220,10 +227,11 @@ func runSet(sys *memsys.System, spec Spec) (*Result, *memsys.System, error) {
 	}
 	end := sys.Run(work)
 
-	return collect(spec, sys, start, end, sysBefore, nvmBefore), sys, nil
+	return collect(spec, sys, start, end, sysBefore, nvmBefore), sys,
+		recoverableSet{name: spec.Structure, set: set}, nil
 }
 
-func runQueue(sys *memsys.System, spec Spec) (*Result, *memsys.System, error) {
+func runQueue(sys *memsys.System, spec Spec) (*Result, *memsys.System, Recoverable, error) {
 	q := lfds.NewQueue(sys)
 	sys.RunOne(func(c *memsys.Ctx) { q.Init(c) })
 
@@ -258,7 +266,8 @@ func runQueue(sys *memsys.System, spec Spec) (*Result, *memsys.System, error) {
 	}
 	end := sys.Run(work)
 
-	return collect(spec, sys, start, end, sysBefore, nvmBefore), sys, nil
+	return collect(spec, sys, start, end, sysBefore, nvmBefore), sys,
+		recoverableQueue{q: q}, nil
 }
 
 func collect(spec Spec, sys *memsys.System, start, end engine.Time, sb memsys.Stats, nb nvm.Stats) *Result {

@@ -23,8 +23,6 @@
 package lrp
 
 import (
-	"fmt"
-
 	"lrp/internal/engine"
 	"lrp/internal/isa"
 	"lrp/internal/lfds"
@@ -134,73 +132,6 @@ func NewQueue(m *Machine) *lfds.Queue { return lfds.NewQueue(m) }
 // DefaultVal is the value-integrity convention: the value stored with
 // key k is 2k+1; recovery walkers verify it.
 func DefaultVal(key uint64) uint64 { return recovery.DefaultVal(key) }
-
-// --- crash analysis ---------------------------------------------------------
-
-// CrashReport describes the durable state a crash at a given instant
-// would leave, and whether it satisfies the paper's recovery criterion.
-type CrashReport struct {
-	// At is the crash instant.
-	At Time
-	// PersistedWrites and TotalWrites count the execution's writes that
-	// had (respectively, had not yet) reached NVM.
-	PersistedWrites uint64
-	TotalWrites     uint64
-	// RPViolations are consistent-cut violations under Release
-	// Persistency: nonempty means null recovery is not guaranteed.
-	RPViolations []Violation
-	// ARPViolations are violations of the weaker ARP-rule.
-	ARPViolations []Violation
-	// Image is the reconstructed NVM image at the crash instant.
-	Image *Image
-}
-
-// ConsistentCut reports whether the crash state satisfies RP.
-func (r *CrashReport) ConsistentCut() bool { return len(r.RPViolations) == 0 }
-
-// Crash reconstructs the durable state of machine m at instant at. The
-// machine must have been built with cfg.TrackHB = true.
-func Crash(m *Machine, at Time) (*CrashReport, error) {
-	tr := m.Tracker()
-	if tr == nil {
-		return nil, fmt.Errorf("lrp: crash analysis requires Config.TrackHB")
-	}
-	persisted, total := tr.PersistedCount(at)
-	m.Observer().CrashSnapshot(at, persisted, total)
-	return &CrashReport{
-		At:              at,
-		PersistedWrites: persisted,
-		TotalWrites:     total,
-		RPViolations:    tr.CheckCut(at, model.RP),
-		ARPViolations:   tr.CheckCut(at, model.ARP),
-		Image:           m.NVM().ImageAt(at, nil),
-	}, nil
-}
-
-// FuzzCrashes samples n crash instants uniformly over the machine's
-// execution and reports how many violate RP and how many violate the
-// ARP-rule. It is the tooling behind cmd/lrpcheck.
-func FuzzCrashes(m *Machine, n int, seed uint64) (rpBad, arpBad int, firstRP *CrashReport, err error) {
-	tr := m.Tracker()
-	if tr == nil {
-		return 0, 0, nil, fmt.Errorf("lrp: crash analysis requires Config.TrackHB")
-	}
-	end := m.Time()
-	r := engine.NewRand(seed)
-	for i := 0; i < n; i++ {
-		at := Time(r.Uint64n(uint64(end) + 1))
-		if v := tr.CheckCut(at, model.RP); len(v) > 0 {
-			rpBad++
-			if firstRP == nil {
-				firstRP, _ = Crash(m, at)
-			}
-		}
-		if v := tr.CheckCut(at, model.ARP); len(v) > 0 {
-			arpBad++
-		}
-	}
-	return rpBad, arpBad, firstRP, nil
-}
 
 // --- null recovery ----------------------------------------------------------
 
