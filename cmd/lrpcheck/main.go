@@ -33,6 +33,7 @@ func main() {
 		seed       = flag.Uint64("seed", 7, "deterministic seed")
 		exhaustive = flag.Bool("exhaustive", false,
 			"crash at every persist-completion boundary (±1 cycle) instead of sampling, and run a recovery walk at each")
+		parallel = flag.Int("parallel", 0, "worker goroutines for the exhaustive sweep (0: one per CPU, 1: serial; the report is identical at any count)")
 	)
 	flag.Parse()
 
@@ -63,7 +64,7 @@ func main() {
 	var rpBad, arpBad int
 	var first *lrp.CrashReport
 	if *exhaustive {
-		sweep, err := lrp.SweepCrashBoundaries(m, rec)
+		sweep, err := lrp.SweepCrashBoundariesParallel(m, rec, *parallel)
 		if err != nil {
 			fail(err)
 		}

@@ -32,6 +32,7 @@ func main() {
 		size      = flag.Int("size", 256, "initial structure size")
 		ops       = flag.Int("ops", 200, "operations per thread")
 		seed      = flag.Uint64("seed", 7, "deterministic workload seed")
+		parallel  = flag.Int("parallel", 0, "worker goroutines for the boundary sweep (0: one per CPU, 1: serial; the report is identical at any count)")
 
 		faults    = flag.Bool("faults", false, "enable every fault injector at default rates")
 		faultSeed = flag.Uint64("fault-seed", 1, "deterministic fault-injection seed")
@@ -88,7 +89,7 @@ func main() {
 		fail(err)
 	}
 
-	sweep, err := lrp.SweepCrashBoundaries(m, rec)
+	sweep, err := lrp.SweepCrashBoundariesParallel(m, rec, *parallel)
 	if err != nil {
 		fail(err)
 	}

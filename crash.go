@@ -1,12 +1,15 @@
 package lrp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"lrp/internal/engine"
+	"lrp/internal/exp"
 	"lrp/internal/fault"
 	"lrp/internal/model"
+	"lrp/internal/nvm"
 	"lrp/internal/recovery"
 	"lrp/internal/workload"
 )
@@ -228,36 +231,112 @@ func (r *SweepReport) String() string {
 // the sweep stays linear in persists + boundaries. The machine must have
 // been built with Config.TrackHB.
 func SweepCrashBoundaries(m *Machine, rec Recoverable) (*SweepReport, error) {
+	return SweepCrashBoundariesParallel(m, rec, 1)
+}
+
+// SweepCrashBoundariesParallel is SweepCrashBoundaries sharded across
+// `workers` OS goroutines (0: one per CPU). The sorted boundary list is
+// split into contiguous ranges; each worker owns a private nvm.Cursor it
+// advances from its range's start, so the incremental-image optimization
+// survives the split. The merged report is identical to the serial
+// sweep's at any worker count: counts are sums over disjoint ranges, and
+// FirstRP/FirstDirty come from the globally first boundary — the lowest
+// index across chunks — not from whichever worker finished first. The
+// machine is shared read-only (the HB tracker, persist log and fault
+// plane are immutable once the run ends; observer counters are atomic).
+func SweepCrashBoundariesParallel(m *Machine, rec Recoverable, workers int) (*SweepReport, error) {
 	tr := m.Tracker()
 	if tr == nil {
 		return nil, fmt.Errorf("lrp: crash analysis requires Config.TrackHB")
 	}
 	bounds := CrashBoundaries(m)
 	rep := &SweepReport{Boundaries: len(bounds)}
-	cur := m.NVM().NewCursor(nil)
-	for _, at := range bounds {
+	if len(bounds) == 0 {
+		return rep, nil
+	}
+	workers = exp.Workers(workers)
+	if workers > len(bounds) {
+		workers = len(bounds)
+	}
+	var ranges [][2]int
+	for i := 0; i < workers; i++ {
+		lo, hi := i*len(bounds)/workers, (i+1)*len(bounds)/workers
+		if lo < hi {
+			ranges = append(ranges, [2]int{lo, hi})
+		}
+	}
+	chunks, _ := exp.Map(context.Background(), workers, len(ranges), func(i int) (sweepChunk, error) {
+		return sweepRange(m, rec, bounds, ranges[i][0], ranges[i][1]), nil
+	})
+
+	firstRP, firstDirty := -1, -1
+	for _, c := range chunks {
+		rep.RPBad += c.rpBad
+		rep.ARPBad += c.arpBad
+		rep.WalksRun += c.walksRun
+		rep.DirtyWalks += c.dirtyWalks
+		rep.Quarantined += c.quarantined
+		// Chunks are merged in range order, so the first hit wins the
+		// global minimum.
+		if firstRP < 0 && c.firstRP >= 0 {
+			firstRP = c.firstRP
+		}
+		if firstDirty < 0 && c.firstDirty >= 0 {
+			firstDirty = c.firstDirty
+			rep.FirstDirty, rep.FirstDirtyAt = c.firstDirtyRep, bounds[c.firstDirty]
+		}
+	}
+	if firstRP >= 0 {
+		// Built once, after the merge, so the sweep performs exactly one
+		// image reconstruction for the report regardless of how many
+		// chunks saw violations (and its observer/fault accounting matches
+		// the serial sweep's).
+		rep.FirstRP, _ = Crash(m, bounds[firstRP])
+	}
+	return rep, nil
+}
+
+// sweepChunk is one worker's tallies over a contiguous boundary range.
+// First-hit positions are boundary indexes (-1: none) so the merge can
+// pick the global minimum without comparing times across chunks.
+type sweepChunk struct {
+	rpBad, arpBad                     int
+	walksRun, dirtyWalks, quarantined int
+	firstRP, firstDirty               int
+	firstDirtyRep                     *RecoveryReport
+}
+
+func sweepRange(m *Machine, rec Recoverable, bounds []Time, lo, hi int) sweepChunk {
+	tr := m.Tracker()
+	c := sweepChunk{firstRP: -1, firstDirty: -1}
+	var cur *nvm.Cursor
+	if rec != nil {
+		cur = m.NVM().NewCursor(nil)
+	}
+	for i := lo; i < hi; i++ {
+		at := bounds[i]
 		if v := tr.CheckCut(at, model.RP); len(v) > 0 {
-			rep.RPBad++
-			if rep.FirstRP == nil {
-				rep.FirstRP, _ = Crash(m, at)
+			c.rpBad++
+			if c.firstRP < 0 {
+				c.firstRP = i
 			}
 		}
 		if v := tr.CheckCut(at, model.ARP); len(v) > 0 {
-			rep.ARPBad++
+			c.arpBad++
 		}
 		if rec == nil {
 			continue
 		}
 		r := rec.Recover(cur.AdvanceTo(at))
-		rep.WalksRun++
+		c.walksRun++
 		if !r.Clean() {
-			rep.DirtyWalks++
-			rep.Quarantined += len(r.Quarantined)
-			if rep.FirstDirty == nil {
-				rep.FirstDirty, rep.FirstDirtyAt = r, at
+			c.dirtyWalks++
+			c.quarantined += len(r.Quarantined)
+			if c.firstDirty < 0 {
+				c.firstDirty, c.firstDirtyRep = i, r
 			}
 		}
 		m.Observer().RecoveryQuarantine(len(r.Quarantined))
 	}
-	return rep, nil
+	return c
 }

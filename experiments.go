@@ -1,8 +1,10 @@
 package lrp
 
 import (
+	"context"
 	"fmt"
 
+	"lrp/internal/exp"
 	"lrp/internal/nvm"
 	"lrp/internal/stats"
 )
@@ -16,10 +18,21 @@ type ExperimentOpts struct {
 	Ops int
 	// SizeScale multiplies the default per-structure sizes (default 1).
 	SizeScale float64
-	// Seed makes every run reproducible (default 7).
+	// Seed makes every run reproducible. Zero means "use the default
+	// (7)" unless SeedSet marks it explicit.
 	Seed uint64
+	// SeedSet marks Seed as explicitly chosen, so an experiment can run
+	// with the literal seed 0 (the zero value of Seed alone cannot be
+	// told apart from "unset"). The CLIs set it whenever -seed is given.
+	SeedSet bool
 	// Cores overrides the machine's core count (default max(Threads, 16)).
 	Cores int
+	// Parallel is the number of OS worker goroutines the experiment
+	// matrix is sharded across (0: one per CPU; 1: serial). Each cell of
+	// the matrix owns a private simulated machine and results are merged
+	// in cell order, so every worker count produces byte-identical
+	// tables.
+	Parallel int
 }
 
 func (o ExperimentOpts) withDefaults() ExperimentOpts {
@@ -32,9 +45,10 @@ func (o ExperimentOpts) withDefaults() ExperimentOpts {
 	if o.SizeScale == 0 {
 		o.SizeScale = 1
 	}
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.SeedSet {
 		o.Seed = 7
 	}
+	o.SeedSet = true
 	if o.Cores == 0 {
 		o.Cores = o.Threads
 		if o.Cores < 16 {
@@ -83,35 +97,92 @@ func (o ExperimentOpts) config(k Mechanism, uncached bool) Config {
 	return cfg
 }
 
-// runAll executes one structure under each requested mechanism.
-func (o ExperimentOpts) runAll(structure string, uncached bool, ks ...Mechanism) (map[Mechanism]*Result, error) {
-	out := make(map[Mechanism]*Result, len(ks))
-	for _, k := range ks {
-		res, _, err := RunWorkload(o.config(k, uncached), o.spec(structure))
-		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", structure, k, err)
-		}
-		out[k] = res
+// cell is one independent simulation of an experiment matrix: a machine
+// configuration plus a workload spec. Cells share nothing — each run
+// builds a private machine — so a matrix can execute on any number of
+// workers without changing its results.
+type cell struct {
+	label string
+	cfg   Config
+	spec  Spec
+}
+
+func (o ExperimentOpts) cellOf(k Mechanism, structure string, uncached bool) cell {
+	return cell{
+		label: fmt.Sprintf("%s/%s", structure, k),
+		cfg:   o.config(k, uncached),
+		spec:  o.spec(structure),
 	}
-	return out, nil
+}
+
+// runCells executes every cell across `workers` pool workers (0: one per
+// CPU) and returns results in cell order. A failing cell does not abort
+// the matrix: its slot is nil, every other cell still runs, and the
+// returned error joins each failure labeled with its cell.
+func runCells(workers int, cells []cell) ([]*Result, error) {
+	return exp.Map(context.Background(), workers, len(cells), func(i int) (*Result, error) {
+		res, _, err := RunWorkload(cells[i].cfg, cells[i].spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cells[i].label, err)
+		}
+		return res, nil
+	})
+}
+
+// complete reports whether every result of a row's cell group is present
+// (a nil entry means that cell failed and the row cannot be rendered).
+func complete(rs []*Result) bool {
+	for _, r := range rs {
+		if r == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// runAll executes one structure under each requested mechanism, sharded
+// across the configured workers. Every cell runs even when another
+// fails: the returned map holds each successful cell's result and the
+// error joins the failures, labeled with their (structure, mechanism).
+func (o ExperimentOpts) runAll(structure string, uncached bool, ks ...Mechanism) (map[Mechanism]*Result, error) {
+	cells := make([]cell, len(ks))
+	for i, k := range ks {
+		cells[i] = o.cellOf(k, structure, uncached)
+	}
+	rs, err := runCells(o.Parallel, cells)
+	out := make(map[Mechanism]*Result, len(ks))
+	for i, k := range ks {
+		if rs[i] != nil {
+			out[k] = rs[i]
+		}
+	}
+	return out, err
 }
 
 func normalizedTable(title string, o ExperimentOpts, uncached bool) (*Table, error) {
-	t := stats.NewTable(title, "workload", "SB", "BB", "LRP")
+	ks := []Mechanism{NOP, SB, BB, LRP}
+	cells := make([]cell, 0, len(Structures)*len(ks))
 	for _, structure := range Structures {
-		rs, err := o.runAll(structure, uncached, NOP, SB, BB, LRP)
-		if err != nil {
-			return nil, err
+		for _, k := range ks {
+			cells = append(cells, o.cellOf(k, structure, uncached))
 		}
-		base := float64(rs[NOP].ExecTime)
+	}
+	rs, err := runCells(o.Parallel, cells)
+	t := stats.NewTable(title, "workload", "SB", "BB", "LRP")
+	for si, structure := range Structures {
+		row := rs[si*len(ks) : (si+1)*len(ks)]
+		if !complete(row) {
+			continue
+		}
+		base := float64(row[0].ExecTime)
 		t.AddRow(structure,
-			stats.Ratio(float64(rs[SB].ExecTime)/base),
-			stats.Ratio(float64(rs[BB].ExecTime)/base),
-			stats.Ratio(float64(rs[LRP].ExecTime)/base))
+			stats.Ratio(float64(row[1].ExecTime)/base),
+			stats.Ratio(float64(row[2].ExecTime)/base),
+			stats.Ratio(float64(row[3].ExecTime)/base))
 	}
 	t.AddNote("execution time normalized to NOP (volatile); lower is better")
 	t.AddNote("threads=%d ops/thread=%d sizes=%v seed=%d", o.Threads, o.Ops, sizesNote(o), o.Seed)
-	return t, nil
+	return t, err
 }
 
 func sizesNote(o ExperimentOpts) map[string]int {
@@ -140,18 +211,26 @@ func Fig7(o ExperimentOpts) (*Table, error) {
 // critical path of execution, BB versus LRP.
 func Fig6(o ExperimentOpts) (*Table, error) {
 	o = o.withDefaults()
-	t := stats.NewTable("Figure 6: % of write-backs in the critical path", "workload", "BB", "LRP")
+	ks := []Mechanism{BB, LRP}
+	cells := make([]cell, 0, len(Structures)*len(ks))
 	for _, structure := range Structures {
-		rs, err := o.runAll(structure, false, BB, LRP)
-		if err != nil {
-			return nil, err
+		for _, k := range ks {
+			cells = append(cells, o.cellOf(k, structure, false))
+		}
+	}
+	rs, err := runCells(o.Parallel, cells)
+	t := stats.NewTable("Figure 6: % of write-backs in the critical path", "workload", "BB", "LRP")
+	for si, structure := range Structures {
+		row := rs[si*len(ks) : (si+1)*len(ks)]
+		if !complete(row) {
+			continue
 		}
 		t.AddRow(structure,
-			stats.Pct(rs[BB].CriticalWritebackPct()),
-			stats.Pct(rs[LRP].CriticalWritebackPct()))
+			stats.Pct(row[0].CriticalWritebackPct()),
+			stats.Pct(row[1].CriticalWritebackPct()))
 	}
 	t.AddNote("lower is better; threads=%d ops/thread=%d", o.Threads, o.Ops)
-	return t, nil
+	return t, err
 }
 
 // Fig8 regenerates Figure 8: persistency overhead over volatile
@@ -162,7 +241,13 @@ func Fig8(o ExperimentOpts, threadCounts ...int) (*Table, error) {
 	if len(threadCounts) == 0 {
 		threadCounts = []int{1, 8, 16, 32}
 	}
-	t := stats.NewTable("Figure 8: persistency overhead vs thread count", "workload", "threads", "BB", "LRP")
+	ks := []Mechanism{NOP, BB, LRP}
+	type rowKey struct {
+		structure string
+		threads   int
+	}
+	var rows []rowKey
+	var cells []cell
 	for _, structure := range Structures {
 		for _, n := range threadCounts {
 			oo := o
@@ -170,18 +255,28 @@ func Fig8(o ExperimentOpts, threadCounts ...int) (*Table, error) {
 			if oo.Cores < n {
 				oo.Cores = n
 			}
-			rs, err := oo.runAll(structure, false, NOP, BB, LRP)
-			if err != nil {
-				return nil, err
+			rows = append(rows, rowKey{structure, n})
+			for _, k := range ks {
+				c := oo.cellOf(k, structure, false)
+				c.label = fmt.Sprintf("%s/%s t=%d", structure, k, n)
+				cells = append(cells, c)
 			}
-			base := float64(rs[NOP].ExecTime)
-			t.AddRow(structure, fmt.Sprintf("%d", n),
-				stats.Pct(100*(float64(rs[BB].ExecTime)-base)/base),
-				stats.Pct(100*(float64(rs[LRP].ExecTime)-base)/base))
 		}
 	}
+	rs, err := runCells(o.Parallel, cells)
+	t := stats.NewTable("Figure 8: persistency overhead vs thread count", "workload", "threads", "BB", "LRP")
+	for ri, rk := range rows {
+		row := rs[ri*len(ks) : (ri+1)*len(ks)]
+		if !complete(row) {
+			continue
+		}
+		base := float64(row[0].ExecTime)
+		t.AddRow(rk.structure, fmt.Sprintf("%d", rk.threads),
+			stats.Pct(100*(float64(row[1].ExecTime)-base)/base),
+			stats.Pct(100*(float64(row[2].ExecTime)-base)/base))
+	}
 	t.AddNote("%% execution-time overhead over NOP; lower is better")
-	return t, nil
+	return t, err
 }
 
 // SizeSensitivity reproduces the §6.4 data-structure-size study: the
@@ -192,24 +287,40 @@ func SizeSensitivity(o ExperimentOpts, scales ...float64) (*Table, error) {
 	if len(scales) == 0 {
 		scales = []float64{0.25, 1, 4}
 	}
-	t := stats.NewTable("Size sensitivity: persistency overhead vs structure size",
-		"workload", "size", "BB", "LRP")
+	ks := []Mechanism{NOP, BB, LRP}
+	type rowKey struct {
+		structure string
+		size      int
+	}
+	var rows []rowKey
+	var cells []cell
 	for _, structure := range []string{"hashmap", "bstree", "skiplist"} {
 		for _, sc := range scales {
 			oo := o
 			oo.SizeScale = sc
-			rs, err := oo.runAll(structure, false, NOP, BB, LRP)
-			if err != nil {
-				return nil, err
+			rows = append(rows, rowKey{structure, oo.size(structure)})
+			for _, k := range ks {
+				c := oo.cellOf(k, structure, false)
+				c.label = fmt.Sprintf("%s/%s n=%d", structure, k, oo.size(structure))
+				cells = append(cells, c)
 			}
-			base := float64(rs[NOP].ExecTime)
-			t.AddRow(structure, fmt.Sprintf("%d", oo.size(structure)),
-				stats.Pct(100*(float64(rs[BB].ExecTime)-base)/base),
-				stats.Pct(100*(float64(rs[LRP].ExecTime)-base)/base))
 		}
 	}
+	rs, err := runCells(o.Parallel, cells)
+	t := stats.NewTable("Size sensitivity: persistency overhead vs structure size",
+		"workload", "size", "BB", "LRP")
+	for ri, rk := range rows {
+		row := rs[ri*len(ks) : (ri+1)*len(ks)]
+		if !complete(row) {
+			continue
+		}
+		base := float64(row[0].ExecTime)
+		t.AddRow(rk.structure, fmt.Sprintf("%d", rk.size),
+			stats.Pct(100*(float64(row[1].ExecTime)-base)/base),
+			stats.Pct(100*(float64(row[2].ExecTime)-base)/base))
+	}
 	t.AddNote("the paper reports no significant size dependence (§6.4)")
-	return t, nil
+	return t, err
 }
 
 // AblationRET sweeps the RET drain watermark, the design knob DESIGN.md
@@ -220,19 +331,32 @@ func AblationRET(o ExperimentOpts, watermarks ...int) (*Table, error) {
 	if len(watermarks) == 0 {
 		watermarks = []int{2, 8, 16, 28}
 	}
+	structures := []string{"hashmap", "queue"}
+	// Each structure's cell group is one NOP baseline followed by one LRP
+	// cell per watermark.
+	stride := 1 + len(watermarks)
+	var cells []cell
+	for _, structure := range structures {
+		cells = append(cells, o.cellOf(NOP, structure, false))
+		for _, w := range watermarks {
+			c := o.cellOf(LRP, structure, false)
+			c.cfg.RETWatermark = w
+			c.label = fmt.Sprintf("%s/LRP wm=%d", structure, w)
+			cells = append(cells, c)
+		}
+	}
+	rs, err := runCells(o.Parallel, cells)
 	t := stats.NewTable("Ablation: RET drain watermark (LRP)",
 		"workload", "watermark", "time vs NOP", "I2 blocks", "critical %")
-	for _, structure := range []string{"hashmap", "queue"} {
-		base, _, err := RunWorkload(o.config(NOP, false), o.spec(structure))
-		if err != nil {
-			return nil, err
+	for si, structure := range structures {
+		base := rs[si*stride]
+		if base == nil {
+			continue
 		}
-		for _, w := range watermarks {
-			cfg := o.config(LRP, false)
-			cfg.RETWatermark = w
-			res, _, err := RunWorkload(cfg, o.spec(structure))
-			if err != nil {
-				return nil, err
+		for wi, w := range watermarks {
+			res := rs[si*stride+1+wi]
+			if res == nil {
+				continue
 			}
 			t.AddRow(structure, fmt.Sprintf("%d", w),
 				stats.Ratio(float64(res.ExecTime)/float64(base.ExecTime)),
@@ -241,7 +365,7 @@ func AblationRET(o ExperimentOpts, watermarks ...int) (*Table, error) {
 		}
 	}
 	t.AddNote("RET capacity fixed at %d entries (paper §5.2.1)", DefaultConfig().RETSize)
-	return t, nil
+	return t, err
 }
 
 // AblationReadMix sweeps the lookup percentage, reproducing the paper's
@@ -252,26 +376,31 @@ func AblationReadMix(o ExperimentOpts, readPcts ...int) (*Table, error) {
 	if len(readPcts) == 0 {
 		readPcts = []int{0, 50, 90}
 	}
+	ks := []Mechanism{NOP, SB, BB, LRP}
+	var cells []cell
+	for _, rp := range readPcts {
+		for _, k := range ks {
+			c := o.cellOf(k, "hashmap", false)
+			c.spec.ReadPct = rp
+			c.label = fmt.Sprintf("hashmap/%s reads=%d%%", k, rp)
+			cells = append(cells, c)
+		}
+	}
+	rs, err := runCells(o.Parallel, cells)
 	t := stats.NewTable("Ablation: read-intensity (hashmap)",
 		"reads", "SB", "BB", "LRP")
-	for _, rp := range readPcts {
-		rs := map[Mechanism]*Result{}
-		for _, k := range []Mechanism{NOP, SB, BB, LRP} {
-			spec := o.spec("hashmap")
-			spec.ReadPct = rp
-			res, _, err := RunWorkload(o.config(k, false), spec)
-			if err != nil {
-				return nil, err
-			}
-			rs[k] = res
+	for ri, rp := range readPcts {
+		row := rs[ri*len(ks) : (ri+1)*len(ks)]
+		if !complete(row) {
+			continue
 		}
-		base := float64(rs[NOP].ExecTime)
+		base := float64(row[0].ExecTime)
 		t.AddRow(fmt.Sprintf("%d%%", rp),
-			stats.Ratio(float64(rs[SB].ExecTime)/base),
-			stats.Ratio(float64(rs[BB].ExecTime)/base),
-			stats.Ratio(float64(rs[LRP].ExecTime)/base))
+			stats.Ratio(float64(row[1].ExecTime)/base),
+			stats.Ratio(float64(row[2].ExecTime)/base),
+			stats.Ratio(float64(row[3].ExecTime)/base))
 	}
-	return t, nil
+	return t, err
 }
 
 // Table1 renders the simulated machine configuration (the paper's

@@ -2,6 +2,7 @@ package nvm
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"lrp/internal/engine"
 	"lrp/internal/isa"
@@ -111,7 +112,9 @@ func (c *Cursor) AdvanceTo(crash engine.Time) *mm.Memory {
 			if !torn {
 				continue
 			}
-			c.sub.stats.TornApplied++
+			// Atomic: chunked sweeps advance several cursors over one
+			// subsystem concurrently.
+			atomic.AddUint64(&c.sub.stats.TornApplied, 1)
 			if c.sub.o != nil {
 				c.sub.o.FaultTear()
 			}

@@ -8,6 +8,7 @@ package nvm
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"lrp/internal/engine"
 	"lrp/internal/fault"
@@ -327,7 +328,9 @@ func (s *Subsystem) applyTorn(img *mm.Memory, e Event) {
 	if !torn {
 		return
 	}
-	s.stats.TornApplied++
+	// Atomic: ImageAt may run from a sweep worker while sibling workers
+	// advance cursors over the same subsystem.
+	atomic.AddUint64(&s.stats.TornApplied, 1)
 	if s.o != nil {
 		s.o.FaultTear()
 	}

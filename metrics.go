@@ -1,10 +1,12 @@
 package lrp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
+	"lrp/internal/exp"
 	"lrp/internal/obs"
 	"lrp/internal/stats"
 )
@@ -137,42 +139,70 @@ func MetricsReport(o ExperimentOpts) (string, error) {
 // paper's §3 gap surviving into the fault model.
 func FaultReport(o ExperimentOpts) (*Table, error) {
 	o = o.withDefaults()
+	ks := []Mechanism{SB, BB, ARP, LRP}
+	type faultCell struct {
+		structure string
+		mech      Mechanism
+	}
+	type faultRow struct {
+		sweep                          *SweepReport
+		retries, giveups, torn, stalls uint64
+	}
+	var cells []faultCell
+	for _, structure := range Structures {
+		for _, k := range ks {
+			cells = append(cells, faultCell{structure, k})
+		}
+	}
+	// Each cell runs its workload, then sweeps its own machine serially —
+	// the cells themselves already saturate the pool, and a private sweep
+	// keeps each cell's fault counters identical to a standalone run.
+	rows, err := exp.Map(context.Background(), o.Parallel, len(cells), func(i int) (faultRow, error) {
+		structure, k := cells[i].structure, cells[i].mech
+		cfg := o.config(k, false)
+		cfg.TrackHB = true
+		cfg.Faults = EnableAllFaults(o.Seed)
+		cfg.Obs = NewObserver(cfg, false, 0)
+		_, m, rec, err := RunRecoverableWorkload(cfg, o.spec(structure))
+		if err != nil {
+			return faultRow{}, fmt.Errorf("%s/%s: %w", structure, k, err)
+		}
+		sweep, err := SweepCrashBoundaries(m, rec)
+		if err != nil {
+			return faultRow{}, fmt.Errorf("%s/%s: %w", structure, k, err)
+		}
+		if k.EnforcesRP() && !sweep.Consistent() {
+			return faultRow{}, fmt.Errorf("%s/%s: %v", structure, k, sweep)
+		}
+		nst := m.NVM().Stats()
+		fst := m.Faults().Stats()
+		return faultRow{
+			sweep:   sweep,
+			retries: nst.Retries, giveups: nst.Giveups,
+			torn: nst.TornApplied, stalls: fst.Stalls,
+		}, nil
+	})
 	t := stats.NewTable("Fault injection: exhaustive crash-boundary sweeps (all injectors on)",
 		"workload", "mech", "boundaries", "RP bad", "dirty walks", "quarantined",
 		"retries", "giveups", "torn", "stalls")
-	for _, structure := range Structures {
-		for _, k := range []Mechanism{SB, BB, ARP, LRP} {
-			cfg := o.config(k, false)
-			cfg.TrackHB = true
-			cfg.Faults = EnableAllFaults(o.Seed)
-			cfg.Obs = NewObserver(cfg, false, 0)
-			_, m, rec, err := RunRecoverableWorkload(cfg, o.spec(structure))
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", structure, k, err)
-			}
-			sweep, err := SweepCrashBoundaries(m, rec)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", structure, k, err)
-			}
-			if k.EnforcesRP() && !sweep.Consistent() {
-				return nil, fmt.Errorf("%s/%s: %v", structure, k, sweep)
-			}
-			nst := m.NVM().Stats()
-			fst := m.Faults().Stats()
-			t.AddRow(structure, k.String(),
-				stats.Count(uint64(sweep.Boundaries)),
-				stats.Count(uint64(sweep.RPBad)),
-				stats.Count(uint64(sweep.DirtyWalks)),
-				stats.Count(uint64(sweep.Quarantined)),
-				stats.Count(nst.Retries),
-				stats.Count(nst.Giveups),
-				stats.Count(nst.TornApplied),
-				stats.Count(fst.Stalls))
+	for i, c := range cells {
+		r := rows[i]
+		if r.sweep == nil {
+			continue
 		}
+		t.AddRow(c.structure, c.mech.String(),
+			stats.Count(uint64(r.sweep.Boundaries)),
+			stats.Count(uint64(r.sweep.RPBad)),
+			stats.Count(uint64(r.sweep.DirtyWalks)),
+			stats.Count(uint64(r.sweep.Quarantined)),
+			stats.Count(r.retries),
+			stats.Count(r.giveups),
+			stats.Count(r.torn),
+			stats.Count(r.stalls))
 	}
 	t.AddNote("every boundary of every RP-mechanism run verified: consistent cut + clean recovery walk")
 	t.AddNote("fault rates: tear=0.5 write=0.05 read=0.05 stall=0.1, seed=%d (deterministic)", o.Seed)
-	return t, nil
+	return t, err
 }
 
 // familyOf strips a per-entity suffix (/coreNN, /bankNN, /ctrlN) off a
