@@ -10,13 +10,20 @@
 // any worker count.
 //
 // Experiments: config (Table 1), fig5, fig6, fig7, fig8, size,
-// ablation-ret, ablation-readmix, faults (FAULTS.md sweeps), all.
+// ablation-ret, ablation-readmix, faults (FAULTS.md sweeps), replay
+// (the trace-driven mechanism comparison, TRACES.md), all.
 //
 // A single workload can also be run directly:
 //
 //	lrpsim -run hashmap -mechanism LRP -threads 16 -size 16384 -ops 100
 //
-// Observability (works with both modes):
+// Trace capture & replay (TRACES.md; cmd/lrptrace is the full toolchain):
+//
+//	-record FILE    with -run: record the run's memory-op trace to FILE
+//	-replay FILE    replay a recorded trace (-mechanism overrides the
+//	                recorded mechanism when given explicitly)
+//
+// Observability (works with all modes):
 //
 //	-metrics        print the metrics-registry report after the run
 //	-trace FILE     write a Chrome trace_event JSON (Perfetto-loadable)
@@ -35,7 +42,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment to run: config|fig5|fig6|fig7|fig8|size|ablation-ret|ablation-readmix|faults|all")
+		experiment = flag.String("experiment", "", "experiment to run: config|fig5|fig6|fig7|fig8|size|ablation-ret|ablation-readmix|faults|replay|all")
 		run        = flag.String("run", "", "run a single workload: linkedlist|hashmap|bstree|skiplist|queue")
 		mechanism  = flag.String("mechanism", "LRP", "mechanism for -run: NOP|SB|BB|ARP|LRP")
 		threads    = flag.Int("threads", 16, "worker threads")
@@ -45,6 +52,8 @@ func main() {
 		seed       = flag.Uint64("seed", 7, "deterministic seed")
 		parallel   = flag.Int("parallel", 0, "worker goroutines for the experiment matrix (0: one per CPU, 1: serial; output is identical at any count)")
 		uncached   = flag.Bool("uncached", false, "disable the NVM-side DRAM cache for -run")
+		recordPath = flag.String("record", "", "with -run: record the run's memory-op trace to FILE (TRACES.md)")
+		replayPath = flag.String("replay", "", "replay a recorded memory-op trace from FILE")
 		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to FILE")
 		metrics    = flag.Bool("metrics", false, "print the metrics-registry report")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060)")
@@ -70,8 +79,18 @@ func main() {
 	}
 
 	switch {
+	case *replayPath != "":
+		mechSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "mechanism" {
+				mechSet = true
+			}
+		})
+		if err := replayTrace(*replayPath, *mechanism, mechSet, *metrics); err != nil {
+			fail(err)
+		}
 	case *run != "":
-		if err := runOne(*run, *mechanism, *threads, *ops, *size, *seed, *uncached, *tracePath, *metrics); err != nil {
+		if err := runOne(*run, *mechanism, *threads, *ops, *size, *seed, *uncached, *tracePath, *recordPath, *metrics); err != nil {
 			fail(err)
 		}
 	case *experiment != "":
@@ -152,6 +171,8 @@ func runExperiment(name string, opts lrp.ExperimentOpts) error {
 		return table(func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.AblationReadMix(o) })
 	case "faults":
 		return table(func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.FaultReport(o) })
+	case "replay":
+		return table(lrp.ReplayComparison)
 	case "all":
 		fmt.Println(lrp.Table1().Format())
 		for _, g := range []gen{
@@ -160,6 +181,7 @@ func runExperiment(name string, opts lrp.ExperimentOpts) error {
 			func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.SizeSensitivity(o) },
 			func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.AblationRET(o) },
 			func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.AblationReadMix(o) },
+			lrp.ReplayComparison,
 		} {
 			if err := table(g); err != nil {
 				return err
@@ -171,7 +193,41 @@ func runExperiment(name string, opts lrp.ExperimentOpts) error {
 	}
 }
 
-func runOne(structure, mechName string, threads, ops, size int, seed uint64, uncached bool, tracePath string, metrics bool) error {
+// replayTrace drives a fresh machine from a recorded trace (lrpsim's
+// one-shot form; cmd/lrptrace has the full record/replay toolchain).
+func replayTrace(path, mechName string, mechSet, metrics bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	o := lrp.ReplayOpts{MechanismSet: mechSet}
+	if mechSet {
+		if o.Mechanism, err = lrp.ParseMechanism(mechName); err != nil {
+			return err
+		}
+	}
+	rp, err := lrp.ReplayTrace(f, o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed        %s under %s (recorded under %s)\n",
+		rp.Header.Spec.Structure, rp.Mechanism, rp.Header.Mechanism)
+	fmt.Printf("trace ops       %d (checksum %08x, verified)\n", rp.Ops, rp.Checksum)
+	if rp.Result != nil {
+		fmt.Printf("exec time       %v\n", rp.Result.ExecTime)
+		fmt.Printf("persists        %d (%.1f%% on the critical path)\n",
+			rp.Result.Sys.Persists, rp.Result.CriticalWritebackPct())
+		fmt.Printf("stall cycles    %d\n", rp.Result.Sys.StallCycles)
+	}
+	if metrics {
+		fmt.Println()
+		fmt.Println(lrp.MetricsSummary(rp.Sys))
+	}
+	return nil
+}
+
+func runOne(structure, mechName string, threads, ops, size int, seed uint64, uncached bool, tracePath, recordPath string, metrics bool) error {
 	k, err := lrp.ParseMechanism(mechName)
 	if err != nil {
 		return err
@@ -190,15 +246,36 @@ func runOne(structure, mechName string, threads, ops, size int, seed uint64, unc
 	if metrics || tracePath != "" {
 		cfg.Obs = lrp.NewObserver(cfg, tracePath != "", 0)
 	}
-	res, m, err := lrp.RunWorkload(cfg, lrp.Spec{
+	spec := lrp.Spec{
 		Structure:    structure,
 		Threads:      threads,
 		InitialSize:  size,
 		OpsPerThread: ops,
 		Seed:         seed,
-	})
-	if err != nil {
-		return err
+	}
+	var res *lrp.Result
+	var m *lrp.Machine
+	if recordPath != "" {
+		tf, err := os.Create(recordPath)
+		if err != nil {
+			return err
+		}
+		var sum lrp.TraceSummary
+		res, m, sum, err = lrp.RecordTrace(cfg, spec, tf)
+		if err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace recorded  %s (%d ops, %d bytes, checksum %08x)\n",
+			recordPath, sum.Ops, sum.WireBytes, sum.Checksum)
+	} else {
+		res, m, err = lrp.RunWorkload(cfg, spec)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("workload        %s\n", structure)
 	fmt.Printf("mechanism       %s\n", k)

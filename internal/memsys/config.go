@@ -89,6 +89,11 @@ type Config struct {
 	// observability entirely; each hook site then costs one predicted
 	// branch. Observability never changes simulated timing.
 	Obs *obs.Observer
+
+	// Rec attaches a memory-op stream recorder (package trace's binary
+	// writer) that captures every operation in global execution order.
+	// Nil disables recording; recording never changes simulated timing.
+	Rec Recorder
 }
 
 // DefaultConfig mirrors Table 1: 64 OoO cores at 2.5GHz, 32KB 8-way L1

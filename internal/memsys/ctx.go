@@ -43,7 +43,11 @@ func (c *Ctx) Work(n engine.Time) {
 	if n < 0 {
 		panic("memsys: negative work")
 	}
-	c.sys.threads[c.tid].clock += n
+	th := c.sys.threads[c.tid]
+	th.clock += n
+	if c.sys.rec != nil {
+		th.recWork += n
+	}
 }
 
 // handoff returns control to the scheduler and blocks until this thread
@@ -59,66 +63,49 @@ func (c *Ctx) handoff() {
 // Load performs a plain load.
 func (c *Ctx) Load(a isa.Addr) uint64 {
 	c.handoff()
-	return c.sys.read(c.tid, a, false)
+	v, _ := c.sys.perform(c.tid, isa.Op{Kind: isa.Load, Addr: a})
+	return v
 }
 
 // LoadAcq performs an acquire load.
 func (c *Ctx) LoadAcq(a isa.Addr) uint64 {
 	c.handoff()
-	return c.sys.read(c.tid, a, true)
+	v, _ := c.sys.perform(c.tid, isa.Op{Kind: isa.Load, Order: isa.Acquire, Addr: a})
+	return v
 }
 
 // Store performs a plain store.
 func (c *Ctx) Store(a isa.Addr, v uint64) {
 	c.handoff()
-	c.sys.write(c.tid, a, v, false)
+	c.sys.perform(c.tid, isa.Op{Kind: isa.Store, Addr: a, Value: v})
 }
 
 // StoreRel performs a release store.
 func (c *Ctx) StoreRel(a isa.Addr, v uint64) {
 	c.handoff()
-	c.sys.write(c.tid, a, v, true)
+	c.sys.perform(c.tid, isa.Op{Kind: isa.Store, Order: isa.Release, Addr: a, Value: v})
 }
 
 // CAS performs a compare-and-swap with the given ordering, returning the
 // value observed and whether the swap succeeded.
 func (c *Ctx) CAS(a isa.Addr, expected, val uint64, order isa.Ordering) (uint64, bool) {
 	c.handoff()
-	return c.sys.rmw(c.tid, a, expected, val, order)
+	return c.sys.perform(c.tid, isa.Op{Kind: isa.CAS, Order: order, Addr: a, Expected: expected, Value: val})
 }
 
 // Barrier executes an explicit full persist barrier.
 func (c *Ctx) Barrier() {
 	c.handoff()
-	c.sys.barrier(c.tid)
+	c.sys.perform(c.tid, isa.Op{Kind: isa.FullBarrier})
 }
 
-// Exec runs one isa.Op (trace replay and tests).
+// Exec runs one isa.Op (tests and op-driven programs).
 func (c *Ctx) Exec(op isa.Op) (uint64, bool) {
 	if err := op.Validate(); err != nil {
 		panic(err)
 	}
-	switch op.Kind {
-	case isa.Load:
-		if op.Order.IsAcquire() {
-			return c.LoadAcq(op.Addr), true
-		}
-		return c.Load(op.Addr), true
-	case isa.Store:
-		if op.Order.IsRelease() {
-			c.StoreRel(op.Addr, op.Value)
-		} else {
-			c.Store(op.Addr, op.Value)
-		}
-		return 0, true
-	case isa.CAS:
-		return c.CAS(op.Addr, op.Expected, op.Value, op.Order)
-	case isa.FullBarrier:
-		c.Barrier()
-		return 0, true
-	default:
-		panic(fmt.Sprintf("memsys: bad op %v", op))
-	}
+	c.handoff()
+	return c.sys.perform(c.tid, op)
 }
 
 // Run executes one program per hardware thread, interleaving their memory
@@ -175,6 +162,9 @@ func (s *System) Run(progs []Program) engine.Time {
 			running[best] = false
 		}
 	}
+	// Trailing compute after a thread's last operation still moves the
+	// machine time; hand it to the recorder so replay reproduces it.
+	s.flushRecWork()
 	return s.Time()
 }
 
@@ -186,6 +176,10 @@ func (s *System) RunOne(p Program) engine.Time { return s.Run([]Program{p}) }
 // flush. A clean shutdown calls this so the durable image converges to
 // the architectural one.
 func (s *System) Drain() engine.Time {
+	if s.rec != nil {
+		s.flushRecWork()
+		s.rec.RecordDrain()
+	}
 	for _, th := range s.threads {
 		th.clock = s.mech.drain(th.id, th.clock)
 	}
@@ -208,6 +202,10 @@ func (s *System) Drain() engine.Time {
 // Workload harnesses call this between the warm-up fill and the measured
 // window so all workers start together.
 func (s *System) SyncClocks() {
+	if s.rec != nil {
+		s.flushRecWork()
+		s.rec.RecordSync()
+	}
 	max := s.Time()
 	for _, th := range s.threads {
 		th.clock = max

@@ -61,6 +61,10 @@ type thread struct {
 	arena *mm.Arena
 	rng   *engine.Rand
 
+	// recWork accumulates explicit compute (Ctx.Work) since the thread's
+	// last recorder event; only maintained while a Recorder is attached.
+	recWork engine.Time
+
 	// Persistency mechanism state.
 	epochs  *persist.EpochCounter
 	ret     *persist.RET
@@ -118,6 +122,10 @@ type System struct {
 	// obs is the observability layer; nil when disabled. Hooks guard on
 	// the nil so a dark machine pays one branch per site.
 	obs *obs.Observer
+
+	// rec receives the memory-op stream at perform points; nil when the
+	// machine is not being recorded.
+	rec Recorder
 }
 
 // New builds a machine from the configuration.
@@ -138,6 +146,7 @@ func New(cfg Config) (*System, error) {
 		llcStamps:   make(map[isa.Addr][]model.Stamp),
 		staticArena: mm.StaticArena(),
 		obs:         cfg.Obs,
+		rec:         cfg.Rec,
 	}
 	if cfg.TrackHB {
 		s.tracker = model.NewTracker(cfg.Cores)

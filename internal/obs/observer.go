@@ -66,6 +66,15 @@ type Observer struct {
 	dirInval   *Counter
 	faultTears *Counter // torn-line applications during image reconstruction
 	recQuar    *Counter // nodes quarantined by recovery walks
+
+	// Trace-capture/replay I/O (host-side tooling work, not simulated
+	// events; the recording itself never changes simulated timing).
+	traceOpsRec   *Counter // op records captured
+	traceRawBytes *Counter // uncompressed record-stream bytes
+	traceOutBytes *Counter // bytes written to the trace file (compressed)
+	traceOpsRep   *Counter // op records replayed
+	traceCompress *Gauge   // compression ratio ×100 (raw/written)
+	traceRepRate  *Gauge   // replay throughput, ops/second (host wall time)
 }
 
 // New builds an Observer for the given topology with every instrument
@@ -143,6 +152,12 @@ func New(cfg Config) *Observer {
 	o.dirInval = o.reg.Counter("dir/invalidations")
 	o.faultTears = o.reg.Counter("fault/tears")
 	o.recQuar = o.reg.Counter("recovery/quarantined_nodes")
+	o.traceOpsRec = o.reg.Counter("trace/ops_recorded")
+	o.traceRawBytes = o.reg.Counter("trace/bytes_raw")
+	o.traceOutBytes = o.reg.Counter("trace/bytes_written")
+	o.traceOpsRep = o.reg.Counter("trace/ops_replayed")
+	o.traceCompress = o.reg.Gauge("trace/compression_x100")
+	o.traceRepRate = o.reg.Gauge("trace/replay_ops_per_sec")
 	return o
 }
 
@@ -452,6 +467,31 @@ func (o *Observer) DirInvalidation() {
 		return
 	}
 	o.dirInval.Inc()
+}
+
+// TraceRecorded records a finished trace capture: op records written,
+// their uncompressed encoding size, and the bytes that reached the
+// trace file after compression.
+func (o *Observer) TraceRecorded(ops, rawBytes, writtenBytes uint64) {
+	if o == nil {
+		return
+	}
+	o.traceOpsRec.Add(ops)
+	o.traceRawBytes.Add(rawBytes)
+	o.traceOutBytes.Add(writtenBytes)
+	if writtenBytes > 0 {
+		o.traceCompress.Set(int64(rawBytes * 100 / writtenBytes))
+	}
+}
+
+// TraceReplayed records a finished trace replay: op records driven into
+// the machine and the host-side throughput achieved.
+func (o *Observer) TraceReplayed(ops, opsPerSec uint64) {
+	if o == nil {
+		return
+	}
+	o.traceOpsRep.Add(ops)
+	o.traceRepRate.Set(int64(opsPerSec))
 }
 
 // CrashSnapshot records a crash-analysis instant: how many of the

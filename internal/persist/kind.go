@@ -9,7 +9,10 @@
 // assembled from the primitives defined here.
 package persist
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Kind names a persistency enforcement approach (§6.2 comparison points).
 type Kind int
@@ -52,12 +55,15 @@ func (k Kind) String() string {
 
 // ParseKind converts a mechanism name (as printed by String) to a Kind.
 func ParseKind(s string) (Kind, error) {
-	for _, k := range Kinds {
+	valid := make([]string, len(Kinds))
+	for i, k := range Kinds {
 		if k.String() == s {
 			return k, nil
 		}
+		valid[i] = k.String()
 	}
-	return 0, fmt.Errorf("persist: unknown mechanism %q", s)
+	return 0, fmt.Errorf("persist: unknown mechanism %q (valid: %s)",
+		s, strings.Join(valid, ", "))
 }
 
 // EnforcesRP reports whether the mechanism guarantees the consistent-cut

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"lrp/internal/persist"
+	"lrp/internal/workload"
+)
+
+// FuzzTraceDecode hardens the trace decoder: arbitrary bytes — and
+// mutations of real traces — must either decode cleanly or fail with an
+// error. No input may panic, hang, or provoke a huge allocation.
+func FuzzTraceDecode(f *testing.F) {
+	cfg := testConfig(persist.LRP)
+	spec := workload.Spec{
+		Structure: "hashmap", Threads: 2, InitialSize: 16, OpsPerThread: 8, Seed: 7,
+	}
+	var buf bytes.Buffer
+	if _, _, _, err := Record(cfg, spec, &buf); err != nil {
+		f.Fatalf("seed trace: %v", err)
+	}
+	raw := buf.Bytes()
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add(raw[:11])
+	trunc := bytes.Clone(raw)
+	trunc[len(magic)] = Version + 1
+	f.Add(trunc)
+	flip := bytes.Clone(raw)
+	flip[len(flip)/2] ^= 0x10
+	f.Add(flip)
+	f.Add([]byte(magic))
+	f.Add([]byte("LRPTRC\x01\xff\xff\xff\xff"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := NewReader(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		// Every record consumes at least one decompressed byte, so the
+		// loop terminates; the cap is a belt against decoder bugs only.
+		for i := 0; i < 1<<22; i++ {
+			if _, err := r.Next(); err != nil {
+				return
+			}
+		}
+		t.Fatalf("decoder did not terminate within %d records", 1<<22)
+	})
+}

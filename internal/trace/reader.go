@@ -1,0 +1,349 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"lrp/internal/engine"
+	"lrp/internal/isa"
+)
+
+// Rec is one decoded trace record. Type selects which fields are
+// meaningful: TID/Work for ops and ticks, Op/Val/OK for ops, Mark for
+// markers.
+type Rec struct {
+	Type RecType
+	TID  int
+	Work engine.Time
+	Op   isa.Op
+	Val  uint64
+	OK   bool
+	Mark uint8
+}
+
+// teeByteReader reads bytes while retaining them, so the reader can
+// checksum each record's exact encoding after decoding it.
+type teeByteReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+func (t *teeByteReader) ReadByte() (byte, error) {
+	b, err := t.r.ReadByte()
+	if err == nil {
+		t.buf = append(t.buf, b)
+	}
+	return b, err
+}
+
+// Reader decodes a trace stream. Every decoded field is validated
+// against the header's machine shape, so a truncated or bit-flipped
+// trace surfaces as an error, never a panic or a huge allocation.
+type Reader struct {
+	h        Header
+	zr       *gzip.Reader
+	tr       teeByteReader
+	last     []int64
+	crc      uint32
+	ops      uint64
+	recs     uint64
+	embedded *EmbeddedResult
+	done     bool
+}
+
+// NewReader validates the file framing and header and positions the
+// reader at the first record.
+func NewReader(src io.Reader) (*Reader, error) {
+	br := bufio.NewReader(src)
+	head := make([]byte, len(magic)+1+4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading file header: %w", err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head[:len(magic)])
+	}
+	if v := head[len(magic)]; v != Version {
+		return nil, fmt.Errorf("trace: format version %d, this build reads %d", v, Version)
+	}
+	plen := binary.LittleEndian.Uint32(head[len(magic)+1:])
+	if plen == 0 || plen > maxHeader {
+		return nil, fmt.Errorf("trace: header payload length %d out of range", plen)
+	}
+	payload := make([]byte, plen+4)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	wantCRC := binary.LittleEndian.Uint32(payload[plen:])
+	payload = payload[:plen]
+	if got := crc32.Checksum(payload, crcTab); got != wantCRC {
+		return nil, fmt.Errorf("trace: header checksum %08x, want %08x", got, wantCRC)
+	}
+	h, err := parseHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening record stream: %w", err)
+	}
+	return &Reader{
+		h:    h,
+		zr:   zr,
+		tr:   teeByteReader{r: bufio.NewReader(zr)},
+		last: make([]int64, h.Config.Cores),
+	}, nil
+}
+
+// Header returns the validated trace header.
+func (r *Reader) Header() Header { return r.h }
+
+// Embedded returns the recorded run's embedded window result, available
+// once the stream has been fully read (nil if the trace carries none).
+func (r *Reader) Embedded() *EmbeddedResult { return r.embedded }
+
+// Checksum is the CRC32 of the op-stream records read so far; after a
+// clean EOF it is the trace's verified stream checksum.
+func (r *Reader) Checksum() uint32 { return r.crc }
+
+// Ops is the number of op records read so far.
+func (r *Reader) Ops() uint64 { return r.ops }
+
+// Records is the number of op-stream records read so far.
+func (r *Reader) Records() uint64 { return r.recs }
+
+func (r *Reader) uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(&r.tr)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return v, err
+}
+
+func (r *Reader) work() (engine.Time, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v >= maxWork {
+		return 0, fmt.Errorf("trace: work gap %d out of range", v)
+	}
+	return engine.Time(v), nil
+}
+
+func (r *Reader) tid() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v >= uint64(len(r.last)) {
+		return 0, fmt.Errorf("trace: thread %d on a %d-core machine", v, len(r.last))
+	}
+	return int(v), nil
+}
+
+// Next decodes the next op-stream record. It returns io.EOF after a
+// verified end record; a stream that stops without one (truncation)
+// returns an error. Result footers are absorbed into Embedded.
+func (r *Reader) Next() (Rec, error) {
+	for {
+		rec, footer, err := r.next()
+		if err != nil || !footer {
+			return rec, err
+		}
+	}
+}
+
+func (r *Reader) next() (rec Rec, footer bool, err error) {
+	if r.done {
+		return rec, false, io.EOF
+	}
+	r.tr.buf = r.tr.buf[:0]
+	t, err := r.tr.ReadByte()
+	if err == io.EOF {
+		return rec, false, fmt.Errorf("trace: truncated stream (no end record)")
+	}
+	if err != nil {
+		return rec, false, err
+	}
+	switch {
+	case t < 0x10:
+		err = r.decodeOp(t, &rec)
+	case t == recTick:
+		rec.Type = RecTick
+		if rec.TID, err = r.tid(); err == nil {
+			rec.Work, err = r.work()
+		}
+	case t == recSync:
+		rec.Type = RecSync
+	case t == recDrain:
+		rec.Type = RecDrain
+	case t == recMark:
+		rec.Type = RecMark
+		rec.Mark, err = r.tr.ReadByte()
+	case t == recResult:
+		rec.Type = RecResult
+		err = r.decodeResult()
+		footer = true
+	case t == recEnd:
+		rec.Type = RecEnd
+		err = r.decodeEnd()
+		if err == nil {
+			r.done = true
+			err = io.EOF
+		}
+	default:
+		err = fmt.Errorf("trace: unknown record type 0x%02x", t)
+	}
+	if err == io.EOF && !r.done {
+		err = io.ErrUnexpectedEOF
+	}
+	if err != nil {
+		return rec, false, err
+	}
+	if !footer {
+		r.crc = crc32.Update(r.crc, crcTab, r.tr.buf)
+		r.recs++
+	}
+	return rec, footer, nil
+}
+
+func (r *Reader) decodeOp(t byte, rec *Rec) error {
+	rec.Type = RecOp
+	rec.Op.Kind = isa.OpKind(t & 3)
+	rec.Op.Order = isa.Ordering(t >> 2)
+	var err error
+	if rec.TID, err = r.tid(); err != nil {
+		return err
+	}
+	if rec.Work, err = r.work(); err != nil {
+		return err
+	}
+	if rec.Op.Kind != isa.FullBarrier {
+		d, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		word := r.last[rec.TID] + unzigzag(d)
+		// Bound the address space so a corrupt delta cannot drive the
+		// sparse memory model into huge allocations during replay.
+		if word < 0 || word >= 1<<44 {
+			return fmt.Errorf("trace: address word %d out of range", word)
+		}
+		r.last[rec.TID] = word
+		rec.Op.Addr = isa.Addr(word << 3)
+	}
+	switch rec.Op.Kind {
+	case isa.Load:
+		if rec.Val, err = r.uvarint(); err != nil {
+			return err
+		}
+		rec.OK = true
+	case isa.Store:
+		if rec.Op.Value, err = r.uvarint(); err != nil {
+			return err
+		}
+		rec.OK = true
+	case isa.CAS:
+		if rec.Op.Expected, err = r.uvarint(); err != nil {
+			return err
+		}
+		if rec.Op.Value, err = r.uvarint(); err != nil {
+			return err
+		}
+		if rec.Val, err = r.uvarint(); err != nil {
+			return err
+		}
+		b, err := r.tr.ReadByte()
+		if err != nil {
+			return err
+		}
+		if b > 1 {
+			return fmt.Errorf("trace: bad CAS outcome byte %d", b)
+		}
+		rec.OK = b == 1
+	case isa.FullBarrier:
+		rec.OK = true
+	}
+	if err := rec.Op.Validate(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	r.ops++
+	return nil
+}
+
+func (r *Reader) decodeResult() error {
+	if r.embedded != nil {
+		return fmt.Errorf("trace: duplicate result record")
+	}
+	e := &EmbeddedResult{}
+	v, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	e.ExecTime = engine.Time(v)
+	if e.ExecTime < 0 {
+		return fmt.Errorf("trace: result time overflows")
+	}
+	if e.Ops, err = r.uvarint(); err != nil {
+		return err
+	}
+	for _, dst := range []*[]uint64{&e.Sys, &e.NVM} {
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		// Counter structs have tens of fields; 1024 bounds a corrupt
+		// length without constraining growth.
+		if n > 1024 {
+			return fmt.Errorf("trace: result vector length %d out of range", n)
+		}
+		vec := make([]uint64, n)
+		for i := range vec {
+			if vec[i], err = r.uvarint(); err != nil {
+				return err
+			}
+		}
+		*dst = vec
+	}
+	r.embedded = e
+	return nil
+}
+
+func (r *Reader) decodeEnd() error {
+	recs, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	ops, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	var cb [4]byte
+	for i := range cb {
+		if cb[i], err = r.tr.ReadByte(); err != nil {
+			return err
+		}
+	}
+	if recs != r.recs {
+		return fmt.Errorf("trace: stream has %d records, end record says %d", r.recs, recs)
+	}
+	if ops != r.ops {
+		return fmt.Errorf("trace: stream has %d ops, end record says %d", r.ops, ops)
+	}
+	if want := binary.LittleEndian.Uint32(cb[:]); want != r.crc {
+		return fmt.Errorf("trace: stream checksum %08x, want %08x", r.crc, want)
+	}
+	// The end record must be the last: a clean gzip EOF must follow
+	// (this also forces the gzip footer checks to run).
+	if _, err := r.tr.r.ReadByte(); err != io.EOF {
+		if err != nil {
+			return fmt.Errorf("trace: after end record: %w", err)
+		}
+		return fmt.Errorf("trace: data after end record")
+	}
+	return nil
+}

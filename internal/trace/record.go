@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"lrp/internal/memsys"
+	"lrp/internal/workload"
+)
+
+// Record runs one workload live under cfg's mechanism with a trace
+// Writer attached, streaming the op stream to dst. The live measured
+// window is embedded in the trace footer so replays can verify
+// themselves against it. Returns the live result and the capture
+// summary.
+func Record(cfg memsys.Config, spec workload.Spec, dst io.Writer) (*workload.Result, *memsys.System, Summary, error) {
+	if cfg.Rec != nil {
+		return nil, nil, Summary{}, fmt.Errorf("trace: config already carries a recorder")
+	}
+	if cfg.Faults.Enabled() {
+		return nil, nil, Summary{}, fmt.Errorf("trace: fault injection cannot be recorded (traces capture the fault-free op stream)")
+	}
+	w, err := NewWriter(dst, HeaderFor(cfg, spec))
+	if err != nil {
+		return nil, nil, Summary{}, err
+	}
+	w.SetObserver(cfg.Obs)
+	cfg.Rec = w
+	res, sys, err := workload.Run(cfg, spec)
+	if err != nil {
+		return nil, nil, Summary{}, err
+	}
+	sys.FlushRecorder()
+	w.SetResult(EmbedResult(res))
+	if err := w.Close(); err != nil {
+		return nil, nil, Summary{}, err
+	}
+	return res, sys, w.Summary(), nil
+}

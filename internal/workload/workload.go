@@ -14,6 +14,7 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 
 	"lrp/internal/engine"
 	"lrp/internal/lfds"
@@ -62,7 +63,8 @@ func (s Spec) Validate() error {
 		}
 	}
 	if !ok {
-		return fmt.Errorf("workload: unknown structure %q", s.Structure)
+		return fmt.Errorf("workload: unknown structure %q (valid: %s)",
+			s.Structure, strings.Join(Structures, ", "))
 	}
 	if s.Threads <= 0 || s.Threads > 64 {
 		return fmt.Errorf("workload: threads must be 1..64, got %d", s.Threads)
@@ -201,6 +203,7 @@ func runSet(sys *memsys.System, spec Spec) (*Result, *memsys.System, Recoverable
 	}
 	sys.Run(warm)
 	sys.SyncClocks()
+	sys.Mark(memsys.MarkWindowStart)
 
 	start := sys.Time()
 	sysBefore := sys.Stats()
@@ -226,6 +229,7 @@ func runSet(sys *memsys.System, spec Spec) (*Result, *memsys.System, Recoverable
 		}
 	}
 	end := sys.Run(work)
+	sys.Mark(memsys.MarkWindowEnd)
 
 	return collect(spec, sys, start, end, sysBefore, nvmBefore), sys,
 		recoverableSet{name: spec.Structure, set: set}, nil
@@ -242,6 +246,7 @@ func runQueue(sys *memsys.System, spec Spec) (*Result, *memsys.System, Recoverab
 		}
 	})
 	sys.SyncClocks()
+	sys.Mark(memsys.MarkWindowStart)
 
 	start := sys.Time()
 	sysBefore := sys.Stats()
@@ -265,6 +270,7 @@ func runQueue(sys *memsys.System, spec Spec) (*Result, *memsys.System, Recoverab
 		}
 	}
 	end := sys.Run(work)
+	sys.Mark(memsys.MarkWindowEnd)
 
 	return collect(spec, sys, start, end, sysBefore, nvmBefore), sys,
 		recoverableQueue{q: q}, nil

@@ -246,6 +246,13 @@ func MetricsSummary(m *Machine) string {
 		}
 		t.AddRow(fam, stats.Count(totals[fam]))
 	}
+	// Gauges (levels, not sums): shown under their full names. The trace
+	// subsystem's compression ratio and replay rate live here.
+	for _, mv := range reg.Snapshot() {
+		if mv.Kind == obs.KindGauge && mv.Value != 0 {
+			t.AddRow(mv.Name, fmt.Sprintf("%d", mv.Value))
+		}
+	}
 	var b strings.Builder
 	b.WriteString(t.Format())
 	for _, h := range []struct {

@@ -1,0 +1,156 @@
+package lrp
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+
+	"lrp/internal/exp"
+	"lrp/internal/stats"
+	"lrp/internal/trace"
+)
+
+// Trace capture & replay (see TRACES.md). A recorded trace pins one
+// execution's complete memory-op stream and synchronization order;
+// replaying it drives the machine directly from the stream — no workload
+// goroutines — so the identical op order can be re-executed under any
+// mechanism. That is the paper's trace-driven methodology: PRiME replays
+// one Pin-captured trace per workload under every mechanism.
+type (
+	// TraceSummary reports what a recording captured (ops, bytes,
+	// op-stream checksum).
+	TraceSummary = trace.Summary
+	// TraceInfo is a decoded trace's summary (ReadTraceInfo).
+	TraceInfo = trace.Info
+	// ReplayOpts configures ReplayTrace.
+	ReplayOpts = trace.ReplayOpts
+	// Replayed is the outcome of one replay.
+	Replayed = trace.Replayed
+	// TraceHeader identifies the machine and workload a trace captured.
+	TraceHeader = trace.Header
+)
+
+// RecordTrace runs one workload live under cfg's mechanism and streams
+// its memory-op trace to dst. The live measured window is embedded in
+// the trace so replays can verify themselves against it. The returned
+// machine allows the same post-run inspection as RunWorkload.
+func RecordTrace(cfg Config, spec Spec, dst io.Writer) (*Result, *Machine, TraceSummary, error) {
+	return trace.Record(cfg, spec, dst)
+}
+
+// ReplayTrace replays a recorded trace from src on a fresh machine —
+// under the recorded mechanism by default, or any other via o. Loads
+// and CAS outcomes are verified against the recording at every op.
+func ReplayTrace(src io.Reader, o ReplayOpts) (*Replayed, error) {
+	return trace.Replay(src, o)
+}
+
+// ReadTraceInfo decodes and fully verifies a trace without building a
+// machine.
+func ReadTraceInfo(src io.Reader) (*TraceInfo, error) {
+	return trace.ReadInfo(src)
+}
+
+// DiffTraces compares two traces' op streams record by record (headers
+// and embedded results excluded). Nil means identical executions.
+func DiffTraces(a, b io.Reader) error {
+	return trace.Diff(a, b)
+}
+
+// ReplayComparison is the replay-backed mechanism comparison: each
+// workload is recorded once under NOP (volatile timing cannot feed a
+// persistency mechanism's stalls back into the op order), then that one
+// trace replays under all five mechanisms. Unlike Fig5 — where each
+// mechanism re-executes the workload and the interleaving re-forms under
+// its own timing — every column of a row here measures the identical op
+// stream, which is how the paper's simulator (PRiME + Pin traces)
+// produced its figures. Each replay is re-recorded and its op-stream
+// checksum asserted against the source trace.
+func ReplayComparison(o ExperimentOpts) (*Table, error) {
+	o = o.withDefaults()
+	ks := Mechanisms
+
+	// Record every structure once, in parallel: the traces are the row
+	// inputs, held in memory (a few MB at experiment scale).
+	traces, err := exp.Map(context.Background(), o.Parallel, len(Structures),
+		func(i int) ([]byte, error) {
+			cfg := o.config(NOP, false)
+			spec := o.spec(Structures[i])
+			var buf bytes.Buffer
+			if _, _, _, err := trace.Record(cfg, spec, &buf); err != nil {
+				return nil, fmt.Errorf("record %s: %w", Structures[i], err)
+			}
+			return buf.Bytes(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Replay matrix: structure × mechanism, each cell an independent
+	// machine fed from its row's shared trace bytes.
+	type cellKey struct {
+		si, ki int
+	}
+	var cells []cellKey
+	for si := range Structures {
+		for ki := range ks {
+			cells = append(cells, cellKey{si, ki})
+		}
+	}
+	reps, err := exp.Map(context.Background(), o.Parallel, len(cells),
+		func(i int) (*Replayed, error) {
+			c := cells[i]
+			raw := traces[c.si]
+			var re bytes.Buffer
+			w, werr := trace.NewWriter(&re, trace.HeaderFor(
+				o.config(ks[c.ki], false), o.spec(Structures[c.si])))
+			if werr != nil {
+				return nil, werr
+			}
+			rp, rerr := trace.Replay(bytes.NewReader(raw), ReplayOpts{
+				Mechanism: ks[c.ki], MechanismSet: true, Rec: w,
+			})
+			if rerr != nil {
+				return nil, fmt.Errorf("replay %s under %s: %w", Structures[c.si], ks[c.ki], rerr)
+			}
+			if cerr := w.Close(); cerr != nil {
+				return nil, cerr
+			}
+			if got := w.Summary().Checksum; got != rp.Checksum {
+				return nil, fmt.Errorf("replay %s under %s: op stream changed (checksum %08x, trace %08x)",
+					Structures[c.si], ks[c.ki], got, rp.Checksum)
+			}
+			if rp.Result == nil {
+				return nil, fmt.Errorf("replay %s under %s: trace has no measured window",
+					Structures[c.si], ks[c.ki])
+			}
+			return rp, nil
+		})
+
+	t := stats.NewTable("Replay comparison: one NOP trace per workload, replayed under every mechanism",
+		"workload", "trace ops", "checksum", "SB", "BB", "ARP", "LRP")
+	for si, structure := range Structures {
+		row := reps[si*len(ks) : (si+1)*len(ks)]
+		ok := true
+		for _, r := range row {
+			if r == nil {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		base := float64(row[0].Result.ExecTime) // ks[0] is NOP
+		cols := make([]string, 0, len(ks)-1)
+		for _, r := range row[1:] {
+			cols = append(cols, stats.Ratio(float64(r.Result.ExecTime)/base))
+		}
+		t.AddRow(append([]string{structure,
+			stats.Count(row[0].Ops),
+			fmt.Sprintf("%08x", row[0].Checksum)}, cols...)...)
+	}
+	t.AddNote("execution time normalized to the NOP replay; identical op stream per row (checksum re-verified per cell)")
+	t.AddNote("threads=%d ops/thread=%d sizes=%v seed=%d", o.Threads, o.Ops, sizesNote(o), o.Seed)
+	return t, err
+}

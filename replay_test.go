@@ -1,0 +1,217 @@
+package lrp
+
+// Tests for the trace capture & replay subsystem at the public-API
+// level: the committed golden corpus must keep replaying exactly, and
+// the replay-backed comparison must be deterministic at any worker
+// count. Byte-level codec and corruption coverage lives in
+// internal/trace; these tests pin the end-to-end contracts CI smoke
+// relies on (TRACES.md).
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"lrp/internal/exp"
+	"lrp/internal/trace"
+)
+
+// goldenTraces returns the committed corpus paths, sorted for
+// deterministic iteration.
+func goldenTraces(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "traces", "*.lrt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no golden traces in testdata/traces")
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// TestGoldenCorpusReplays: every committed trace must decode, verify
+// its checksums, and — replayed under its recorded mechanism —
+// reproduce the embedded live window byte-for-byte. This is the
+// backward-compatibility gate for the format: a codec or machine-model
+// change that breaks it must regenerate the corpus consciously
+// (TRACES.md documents how).
+func TestGoldenCorpusReplays(t *testing.T) {
+	for _, path := range goldenTraces(t) {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info, err := ReadTraceInfo(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("corpus trace no longer decodes: %v", err)
+			}
+			if info.Embedded == nil {
+				t.Fatal("corpus trace has no embedded result")
+			}
+			rp, err := ReplayTrace(bytes.NewReader(raw), ReplayOpts{})
+			if err != nil {
+				t.Fatalf("corpus trace no longer replays: %v", err)
+			}
+			if rp.Checksum != info.Checksum {
+				t.Fatalf("replay verified checksum %08x, info says %08x", rp.Checksum, info.Checksum)
+			}
+			if err := rp.VerifyEmbedded(); err != nil {
+				t.Fatalf("replay no longer reproduces the recorded window: %v\n"+
+					"(machine-model change? regenerate testdata/traces per TRACES.md)", err)
+			}
+		})
+	}
+}
+
+// TestGoldenCorpusCrossMechanism: each corpus trace replays under all
+// five mechanisms from the identical op stream — re-recording every
+// replay must reproduce the source checksum whatever the mechanism.
+func TestGoldenCorpusCrossMechanism(t *testing.T) {
+	for _, path := range goldenTraces(t) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range Mechanisms {
+			var re bytes.Buffer
+			in, err := trace.NewReader(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := trace.NewWriter(&re, trace.Header{
+				Version:   in.Header().Version,
+				Mechanism: k,
+				Config:    in.Header().MachineConfig(k),
+				Spec:      in.Header().Spec,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := ReplayTrace(bytes.NewReader(raw), ReplayOpts{
+				Mechanism: k, MechanismSet: true, Rec: w,
+			})
+			if err != nil {
+				t.Fatalf("%s under %v: %v", filepath.Base(path), k, err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := w.Summary().Checksum; got != rp.Checksum {
+				t.Errorf("%s under %v: re-recorded checksum %08x, source %08x — op stream not mechanism-invariant",
+					filepath.Base(path), k, got, rp.Checksum)
+			}
+		}
+	}
+}
+
+// replayMetricsKey renders one replay's observable outcome for
+// determinism comparison.
+func replayMetricsKey(rp *Replayed) string {
+	return fmt.Sprintf("mech=%v ops=%d time=%d crc=%08x exec=%d persists=%d stalls=%d",
+		rp.Mechanism, rp.Ops, rp.Time, rp.Checksum,
+		rp.Result.ExecTime, rp.Result.Sys.Persists, rp.Result.Sys.StallCycles)
+}
+
+// TestGoldenTraceReplayDeterministic replays the full corpus×mechanism
+// matrix through the experiment pool at worker counts 1, 2 and 8: the
+// merged metrics must be byte-identical (runs under -race in CI, so
+// this doubles as the race check for concurrent replays).
+func TestGoldenTraceReplayDeterministic(t *testing.T) {
+	paths := goldenTraces(t)
+	type cell struct {
+		path string
+		mech Mechanism
+	}
+	var cells []cell
+	for _, p := range paths {
+		for _, k := range Mechanisms {
+			cells = append(cells, cell{p, k})
+		}
+	}
+	run := func(workers int) string {
+		keys, err := exp.Map(context.Background(), workers, len(cells), func(i int) (string, error) {
+			raw, err := os.ReadFile(cells[i].path)
+			if err != nil {
+				return "", err
+			}
+			rp, err := ReplayTrace(bytes.NewReader(raw), ReplayOpts{
+				Mechanism: cells[i].mech, MechanismSet: true,
+			})
+			if err != nil {
+				return "", err
+			}
+			return replayMetricsKey(rp), nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var b bytes.Buffer
+		for i, k := range keys {
+			fmt.Fprintf(&b, "%s %s %s\n", filepath.Base(cells[i].path), cells[i].mech, k)
+		}
+		return b.String()
+	}
+	want := run(1)
+	for _, w := range []int{2, 8} {
+		if got := run(w); got != want {
+			t.Errorf("replay metrics differ at %d workers:\n--- serial ---\n%s\n--- %d workers ---\n%s",
+				w, want, w, got)
+		}
+	}
+}
+
+// TestReplayComparisonDeterministic: the replay-backed experiment table
+// renders byte-identically at any worker count.
+func TestReplayComparisonDeterministic(t *testing.T) {
+	serial, err := ReplayComparison(parallelOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Rows) != len(Structures) {
+		t.Fatalf("expected %d rows, got %d", len(Structures), len(serial.Rows))
+	}
+	par, err := ReplayComparison(parallelOpts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Format() != par.Format() {
+		t.Errorf("ReplayComparison differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.Format(), par.Format())
+	}
+}
+
+// TestRecordReplayPublicAPI: the README/TRACES.md workflow through the
+// public API — record live, replay, verify, re-record, diff.
+func TestRecordReplayPublicAPI(t *testing.T) {
+	cfg := tinyConfig(LRP)
+	spec := Spec{Structure: "hashmap", Threads: 2, InitialSize: 32, OpsPerThread: 20, Seed: 5}
+	var buf bytes.Buffer
+	live, m, sum, err := RecordTrace(cfg, spec, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || live == nil || sum.Ops == 0 {
+		t.Fatalf("incomplete recording: live=%v m=%v sum=%+v", live, m, sum)
+	}
+	rp, err := ReplayTrace(bytes.NewReader(buf.Bytes()), ReplayOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.VerifyEmbedded(); err != nil {
+		t.Fatal(err)
+	}
+	if rp.Result.ExecTime != live.ExecTime {
+		t.Fatalf("replay time %v, live %v", rp.Result.ExecTime, live.ExecTime)
+	}
+	if err := DiffTraces(bytes.NewReader(buf.Bytes()), bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}
