@@ -18,13 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"lrp"
 )
 
 func main() {
 	var (
-		mechName   = flag.String("mechanism", "LRP", "mechanism: NOP|SB|BB|ARP|LRP")
+		mechName   = flag.String("mechanism", "LRP", "mechanism: "+strings.Join(lrp.MechanismNames(), "|"))
 		structure  = flag.String("structure", "linkedlist", "workload structure")
 		threads    = flag.Int("threads", 4, "worker threads")
 		size       = flag.Int("size", 256, "initial structure size")

@@ -14,13 +14,14 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"lrp"
 )
 
 func main() {
 	var (
-		mechName = flag.String("mechanism", "LRP", "mechanism: NOP|SB|BB|ARP|LRP")
+		mechName = flag.String("mechanism", "LRP", "mechanism: "+strings.Join(lrp.MechanismNames(), "|"))
 		keys     = flag.Int("keys", 40, "keys inserted by each of the two threads")
 		crashPct = flag.Int("crash", 60, "crash instant as a percentage of the execution")
 		seed     = flag.Uint64("seed", 7, "deterministic seed")

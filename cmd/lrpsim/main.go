@@ -36,6 +36,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strings"
 
 	"lrp"
 )
@@ -44,7 +45,7 @@ func main() {
 	var (
 		experiment = flag.String("experiment", "", "experiment to run: config|fig5|fig6|fig7|fig8|size|ablation-ret|ablation-readmix|faults|replay|all")
 		run        = flag.String("run", "", "run a single workload: linkedlist|hashmap|bstree|skiplist|queue")
-		mechanism  = flag.String("mechanism", "LRP", "mechanism for -run: NOP|SB|BB|ARP|LRP")
+		mechanism  = flag.String("mechanism", "LRP", "mechanism for -run: "+strings.Join(lrp.MechanismNames(), "|"))
 		threads    = flag.Int("threads", 16, "worker threads")
 		ops        = flag.Int("ops", 100, "operations per thread in the measured window")
 		size       = flag.Int("size", 0, "initial structure size for -run (0 = experiment default)")
@@ -174,20 +175,9 @@ func runExperiment(name string, opts lrp.ExperimentOpts) error {
 	case "replay":
 		return table(lrp.ReplayComparison)
 	case "all":
-		fmt.Println(lrp.Table1().Format())
-		for _, g := range []gen{
-			lrp.Fig5, lrp.Fig6, lrp.Fig7,
-			func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.Fig8(o) },
-			func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.SizeSensitivity(o) },
-			func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.AblationRET(o) },
-			func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.AblationReadMix(o) },
-			lrp.ReplayComparison,
-		} {
-			if err := table(g); err != nil {
-				return err
-			}
-		}
-		return nil
+		out, err := lrp.ExperimentAll(opts)
+		fmt.Print(out)
+		return err
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -252,7 +252,7 @@ func replayAll(raw []byte, verify bool) error {
 	t := stats.NewTable("Replay: one trace under every mechanism",
 		"mechanism", "exec time", "vs NOP", "persists", "crit%", "stalls", "checksum")
 	var base float64
-	for _, k := range lrp.Mechanisms {
+	for _, k := range lrp.Mechanisms() {
 		var re bytes.Buffer
 		rp, w, err := replayOnce(raw, k, true, false, &re)
 		if err != nil {

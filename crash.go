@@ -8,6 +8,7 @@ import (
 	"lrp/internal/engine"
 	"lrp/internal/exp"
 	"lrp/internal/fault"
+	"lrp/internal/mm"
 	"lrp/internal/model"
 	"lrp/internal/nvm"
 	"lrp/internal/recovery"
@@ -79,7 +80,7 @@ func Crash(m *Machine, at Time) (*CrashReport, error) {
 		TotalWrites:     total,
 		RPViolations:    tr.CheckCut(at, model.RP),
 		ARPViolations:   tr.CheckCut(at, model.ARP),
-		Image:           m.NVM().ImageAt(at, nil),
+		Image:           m.CrashImageAt(at),
 	}, nil
 }
 
@@ -192,6 +193,13 @@ func CrashBoundaries(m *Machine) []Time {
 		add(e.Done - 1)
 		add(e.Done)
 		add(e.Done + 1)
+	}
+	// Mechanism-held durability (eADR's release/drain completions) changes
+	// the durable state without an NVM event; probe those instants too.
+	for _, t := range m.MechCrashInstants() {
+		add(t - 1)
+		add(t)
+		add(t + 1)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -309,9 +317,18 @@ type sweepChunk struct {
 func sweepRange(m *Machine, rec Recoverable, bounds []Time, lo, hi int) sweepChunk {
 	tr := m.Tracker()
 	c := sweepChunk{firstRP: -1, firstDirty: -1}
+	// Each worker advances a private incremental cursor over its range:
+	// the mechanism's own durable log when the mechanism owns the image
+	// (eADR), the NVM persist log otherwise.
 	var cur *nvm.Cursor
+	var mcur = m.MechCrashCursor()
+	var mimg *mm.Memory
 	if rec != nil {
-		cur = m.NVM().NewCursor(nil)
+		if mcur != nil {
+			mimg = mm.NewMemory()
+		} else {
+			cur = m.NVM().NewCursor(nil)
+		}
 	}
 	for i := lo; i < hi; i++ {
 		at := bounds[i]
@@ -327,7 +344,14 @@ func sweepRange(m *Machine, rec Recoverable, bounds []Time, lo, hi int) sweepChu
 		if rec == nil {
 			continue
 		}
-		r := rec.Recover(cur.AdvanceTo(at))
+		var img *Image
+		if mcur != nil {
+			mcur.ApplyTo(mimg, at)
+			img = mimg
+		} else {
+			img = cur.AdvanceTo(at)
+		}
+		r := rec.Recover(img)
 		c.walksRun++
 		if !r.Clean() {
 			c.dirtyWalks++

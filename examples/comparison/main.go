@@ -20,7 +20,7 @@ func main() {
 	fmt.Printf("%-5s %12s %10s %14s %12s %s\n",
 		"mech", "exec time", "persists", "critical-path", "crash-safe?", "notes")
 
-	for _, mech := range lrp.Mechanisms {
+	for _, mech := range lrp.Mechanisms() {
 		cfg := lrp.DefaultConfig().WithMechanism(mech)
 		cfg.Cores = 8
 		cfg.TrackHB = true

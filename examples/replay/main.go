@@ -42,7 +42,7 @@ func main() {
 		"mech", "exec time", "vs NOP", "persists", "critical-path", "checksum")
 
 	var base float64
-	for _, mech := range lrp.Mechanisms {
+	for _, mech := range lrp.Mechanisms() {
 		rp, err := lrp.ReplayTrace(bytes.NewReader(trace.Bytes()), lrp.ReplayOpts{
 			Mechanism:    mech,
 			MechanismSet: true,

@@ -3,6 +3,7 @@ package lrp
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"lrp/internal/exp"
 	"lrp/internal/nvm"
@@ -33,6 +34,73 @@ type ExperimentOpts struct {
 	// in cell order, so every worker count produces byte-identical
 	// tables.
 	Parallel int
+	// Mechs restricts the mechanism columns to a subset of the
+	// registered mechanisms (nil: all registered). The NOP baseline
+	// always runs regardless; columns keep registry order.
+	Mechs []Mechanism
+}
+
+func (o ExperimentOpts) wants(k Mechanism) bool {
+	if len(o.Mechs) == 0 {
+		return true
+	}
+	for _, m := range o.Mechs {
+		if m == k {
+			return true
+		}
+	}
+	return false
+}
+
+// rpKinds is the NOP baseline followed by every requested RP-enforcing
+// mechanism, in registry order: the column set of the normalized-time
+// comparisons (Fig5/Fig7, read-mix ablation).
+func (o ExperimentOpts) rpKinds() []Mechanism {
+	ks := []Mechanism{NOP}
+	for _, k := range Mechanisms() {
+		if k.EnforcesRP() && o.wants(k) {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// headlineKinds is the requested headline mechanisms (registry order):
+// the columns of the head-to-head figures (Fig6).
+func (o ExperimentOpts) headlineKinds() []Mechanism {
+	var ks []Mechanism
+	for _, k := range Mechanisms() {
+		if k.Headline() && o.wants(k) {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// overheadKinds is the NOP baseline plus the headline mechanisms: the
+// cell groups of the overhead-over-volatile sweeps (Fig8, size study).
+func (o ExperimentOpts) overheadKinds() []Mechanism {
+	return append([]Mechanism{NOP}, o.headlineKinds()...)
+}
+
+// replayKinds is NOP (the recording mechanism) followed by every other
+// requested mechanism: the replay-comparison columns.
+func (o ExperimentOpts) replayKinds() []Mechanism {
+	ks := []Mechanism{NOP}
+	for _, k := range Mechanisms() {
+		if k != NOP && o.wants(k) {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+func kindNames(ks []Mechanism) []string {
+	names := make([]string, len(ks))
+	for i, k := range ks {
+		names[i] = k.String()
+	}
+	return names
 }
 
 func (o ExperimentOpts) withDefaults() ExperimentOpts {
@@ -160,7 +228,7 @@ func (o ExperimentOpts) runAll(structure string, uncached bool, ks ...Mechanism)
 }
 
 func normalizedTable(title string, o ExperimentOpts, uncached bool) (*Table, error) {
-	ks := []Mechanism{NOP, SB, BB, LRP}
+	ks := o.rpKinds()
 	cells := make([]cell, 0, len(Structures)*len(ks))
 	for _, structure := range Structures {
 		for _, k := range ks {
@@ -168,17 +236,18 @@ func normalizedTable(title string, o ExperimentOpts, uncached bool) (*Table, err
 		}
 	}
 	rs, err := runCells(o.Parallel, cells)
-	t := stats.NewTable(title, "workload", "SB", "BB", "LRP")
+	t := stats.NewTable(title, append([]string{"workload"}, kindNames(ks[1:])...)...)
 	for si, structure := range Structures {
 		row := rs[si*len(ks) : (si+1)*len(ks)]
 		if !complete(row) {
 			continue
 		}
 		base := float64(row[0].ExecTime)
-		t.AddRow(structure,
-			stats.Ratio(float64(row[1].ExecTime)/base),
-			stats.Ratio(float64(row[2].ExecTime)/base),
-			stats.Ratio(float64(row[3].ExecTime)/base))
+		cols := make([]string, 0, len(ks)-1)
+		for _, r := range row[1:] {
+			cols = append(cols, stats.Ratio(float64(r.ExecTime)/base))
+		}
+		t.AddRow(append([]string{structure}, cols...)...)
 	}
 	t.AddNote("execution time normalized to NOP (volatile); lower is better")
 	t.AddNote("threads=%d ops/thread=%d sizes=%v seed=%d", o.Threads, o.Ops, sizesNote(o), o.Seed)
@@ -211,7 +280,7 @@ func Fig7(o ExperimentOpts) (*Table, error) {
 // critical path of execution, BB versus LRP.
 func Fig6(o ExperimentOpts) (*Table, error) {
 	o = o.withDefaults()
-	ks := []Mechanism{BB, LRP}
+	ks := o.headlineKinds()
 	cells := make([]cell, 0, len(Structures)*len(ks))
 	for _, structure := range Structures {
 		for _, k := range ks {
@@ -219,15 +288,18 @@ func Fig6(o ExperimentOpts) (*Table, error) {
 		}
 	}
 	rs, err := runCells(o.Parallel, cells)
-	t := stats.NewTable("Figure 6: % of write-backs in the critical path", "workload", "BB", "LRP")
+	t := stats.NewTable("Figure 6: % of write-backs in the critical path",
+		append([]string{"workload"}, kindNames(ks)...)...)
 	for si, structure := range Structures {
 		row := rs[si*len(ks) : (si+1)*len(ks)]
 		if !complete(row) {
 			continue
 		}
-		t.AddRow(structure,
-			stats.Pct(row[0].CriticalWritebackPct()),
-			stats.Pct(row[1].CriticalWritebackPct()))
+		cols := make([]string, 0, len(ks))
+		for _, r := range row {
+			cols = append(cols, stats.Pct(r.CriticalWritebackPct()))
+		}
+		t.AddRow(append([]string{structure}, cols...)...)
 	}
 	t.AddNote("lower is better; threads=%d ops/thread=%d", o.Threads, o.Ops)
 	return t, err
@@ -241,7 +313,7 @@ func Fig8(o ExperimentOpts, threadCounts ...int) (*Table, error) {
 	if len(threadCounts) == 0 {
 		threadCounts = []int{1, 8, 16, 32}
 	}
-	ks := []Mechanism{NOP, BB, LRP}
+	ks := o.overheadKinds()
 	type rowKey struct {
 		structure string
 		threads   int
@@ -264,16 +336,19 @@ func Fig8(o ExperimentOpts, threadCounts ...int) (*Table, error) {
 		}
 	}
 	rs, err := runCells(o.Parallel, cells)
-	t := stats.NewTable("Figure 8: persistency overhead vs thread count", "workload", "threads", "BB", "LRP")
+	t := stats.NewTable("Figure 8: persistency overhead vs thread count",
+		append([]string{"workload", "threads"}, kindNames(ks[1:])...)...)
 	for ri, rk := range rows {
 		row := rs[ri*len(ks) : (ri+1)*len(ks)]
 		if !complete(row) {
 			continue
 		}
 		base := float64(row[0].ExecTime)
-		t.AddRow(rk.structure, fmt.Sprintf("%d", rk.threads),
-			stats.Pct(100*(float64(row[1].ExecTime)-base)/base),
-			stats.Pct(100*(float64(row[2].ExecTime)-base)/base))
+		cols := make([]string, 0, len(ks)-1)
+		for _, r := range row[1:] {
+			cols = append(cols, stats.Pct(100*(float64(r.ExecTime)-base)/base))
+		}
+		t.AddRow(append([]string{rk.structure, fmt.Sprintf("%d", rk.threads)}, cols...)...)
 	}
 	t.AddNote("%% execution-time overhead over NOP; lower is better")
 	return t, err
@@ -287,7 +362,7 @@ func SizeSensitivity(o ExperimentOpts, scales ...float64) (*Table, error) {
 	if len(scales) == 0 {
 		scales = []float64{0.25, 1, 4}
 	}
-	ks := []Mechanism{NOP, BB, LRP}
+	ks := o.overheadKinds()
 	type rowKey struct {
 		structure string
 		size      int
@@ -308,16 +383,18 @@ func SizeSensitivity(o ExperimentOpts, scales ...float64) (*Table, error) {
 	}
 	rs, err := runCells(o.Parallel, cells)
 	t := stats.NewTable("Size sensitivity: persistency overhead vs structure size",
-		"workload", "size", "BB", "LRP")
+		append([]string{"workload", "size"}, kindNames(ks[1:])...)...)
 	for ri, rk := range rows {
 		row := rs[ri*len(ks) : (ri+1)*len(ks)]
 		if !complete(row) {
 			continue
 		}
 		base := float64(row[0].ExecTime)
-		t.AddRow(rk.structure, fmt.Sprintf("%d", rk.size),
-			stats.Pct(100*(float64(row[1].ExecTime)-base)/base),
-			stats.Pct(100*(float64(row[2].ExecTime)-base)/base))
+		cols := make([]string, 0, len(ks)-1)
+		for _, r := range row[1:] {
+			cols = append(cols, stats.Pct(100*(float64(r.ExecTime)-base)/base))
+		}
+		t.AddRow(append([]string{rk.structure, fmt.Sprintf("%d", rk.size)}, cols...)...)
 	}
 	t.AddNote("the paper reports no significant size dependence (§6.4)")
 	return t, err
@@ -376,7 +453,7 @@ func AblationReadMix(o ExperimentOpts, readPcts ...int) (*Table, error) {
 	if len(readPcts) == 0 {
 		readPcts = []int{0, 50, 90}
 	}
-	ks := []Mechanism{NOP, SB, BB, LRP}
+	ks := o.rpKinds()
 	var cells []cell
 	for _, rp := range readPcts {
 		for _, k := range ks {
@@ -388,17 +465,18 @@ func AblationReadMix(o ExperimentOpts, readPcts ...int) (*Table, error) {
 	}
 	rs, err := runCells(o.Parallel, cells)
 	t := stats.NewTable("Ablation: read-intensity (hashmap)",
-		"reads", "SB", "BB", "LRP")
+		append([]string{"reads"}, kindNames(ks[1:])...)...)
 	for ri, rp := range readPcts {
 		row := rs[ri*len(ks) : (ri+1)*len(ks)]
 		if !complete(row) {
 			continue
 		}
 		base := float64(row[0].ExecTime)
-		t.AddRow(fmt.Sprintf("%d%%", rp),
-			stats.Ratio(float64(row[1].ExecTime)/base),
-			stats.Ratio(float64(row[2].ExecTime)/base),
-			stats.Ratio(float64(row[3].ExecTime)/base))
+		cols := make([]string, 0, len(ks)-1)
+		for _, r := range row[1:] {
+			cols = append(cols, stats.Ratio(float64(r.ExecTime)/base))
+		}
+		t.AddRow(append([]string{fmt.Sprintf("%d%%", rp)}, cols...)...)
 	}
 	return t, err
 }
@@ -420,4 +498,33 @@ func Table1() *Table {
 	t.AddRow("NVM controllers", fmt.Sprintf("%d", c.NVM.Controllers))
 	t.AddRow("RET (private)", fmt.Sprintf("%d entries, watermark %d", c.RETSize, c.RETWatermark))
 	return t
+}
+
+// ExperimentAll renders every experiment table in sequence — Table 1,
+// Figures 5-8, the size-sensitivity and ablation studies, and the
+// trace-replay comparison — exactly as `lrpsim -experiment all` prints
+// them. The concatenated output is what the golden guard in
+// testdata/golden/ pins byte-for-byte.
+func ExperimentAll(o ExperimentOpts) (string, error) {
+	var b strings.Builder
+	b.WriteString(Table1().Format())
+	b.WriteByte('\n')
+	for _, g := range []func(ExperimentOpts) (*Table, error){
+		Fig5, Fig6, Fig7,
+		func(o ExperimentOpts) (*Table, error) { return Fig8(o) },
+		func(o ExperimentOpts) (*Table, error) { return SizeSensitivity(o) },
+		func(o ExperimentOpts) (*Table, error) { return AblationRET(o) },
+		func(o ExperimentOpts) (*Table, error) { return AblationReadMix(o) },
+		ReplayComparison,
+	} {
+		t, err := g(o)
+		if t != nil && len(t.Rows) > 0 {
+			b.WriteString(t.Format())
+			b.WriteByte('\n')
+		}
+		if err != nil {
+			return b.String(), err
+		}
+	}
+	return b.String(), nil
 }

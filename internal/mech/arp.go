@@ -1,4 +1,4 @@
-package memsys
+package mech
 
 import (
 	"lrp/internal/cache"
@@ -33,34 +33,52 @@ type arpEntry struct {
 // ordering designs ARP builds on route persists around the cache
 // hierarchy).
 type arpMech struct {
-	s *System
+	NoCrashState
+	sv SystemView
+
+	// Per-thread state: the release flag, the persist buffer, the
+	// completion horizon of the last drained epoch, and the ARP epoch id
+	// (advances at flagged acquires).
+	flag   []bool
+	buffer [][]arpEntry
+	drain  []engine.Time
+	epoch  []uint32
 }
 
-func (m *arpMech) kind() persist.Kind { return persist.ARP }
+func newARP(sv SystemView) Mechanism {
+	return &arpMech{
+		sv:     sv,
+		flag:   make([]bool, sv.Cores()),
+		buffer: make([][]arpEntry, sv.Cores()),
+		drain:  make([]engine.Time, sv.Cores()),
+		epoch:  make([]uint32, sv.Cores()),
+	}
+}
+
+func (m *arpMech) Kind() persist.Kind { return persist.ARP }
 
 // drainEpochs issues persists for all buffered entries with epoch < upTo,
 // epoch by epoch behind the thread's drain horizon. It returns the final
 // ack time of what it drained (or the existing horizon).
 func (m *arpMech) drainEpochs(tid int, upTo uint32, now engine.Time) engine.Time {
-	s := m.s
-	th := s.threads[tid]
+	sv := m.sv
 	for {
 		// Find the oldest epoch still buffered below upTo.
 		oldest := upTo
-		for _, e := range th.arpBuffer {
+		for _, e := range m.buffer[tid] {
 			if e.epoch < oldest {
 				oldest = e.epoch
 			}
 		}
 		if oldest == upTo {
-			return th.arpDrain
+			return m.drain[tid]
 		}
 		// Issue this epoch's entries concurrently, in address order,
 		// behind the previous epoch's final ack.
-		issue := engine.Max(now, th.arpDrain)
+		issue := engine.Max(now, m.drain[tid])
 		var kept []arpEntry
 		var entries []arpEntry
-		for _, e := range th.arpBuffer {
+		for _, e := range m.buffer[tid] {
 			if e.epoch == oldest {
 				entries = append(entries, e)
 			} else {
@@ -72,31 +90,29 @@ func (m *arpMech) drainEpochs(tid int, upTo uint32, now engine.Time) engine.Time
 				entries[j], entries[j-1] = entries[j-1], entries[j]
 			}
 		}
-		horizon := th.arpDrain
+		horizon := m.drain[tid]
 		for _, e := range entries {
-			done := s.persistAddr(tid, e.line, e.stamps, now, issue, false)
+			done := sv.PersistAddr(tid, e.line, e.stamps, now, issue, false)
 			if done > horizon {
 				horizon = done
 			}
 		}
-		th.arpBuffer = kept
-		th.arpDrain = horizon
+		m.buffer[tid] = kept
+		m.drain[tid] = horizon
 	}
 }
 
-func (m *arpMech) onWrite(tid int, l *cache.Line, release bool, now engine.Time) engine.Time {
+func (m *arpMech) OnWrite(tid int, l *cache.Line, release bool, now engine.Time) engine.Time {
 	return now
 }
 
-func (m *arpMech) onStamped(tid int, l *cache.Line, st model.Stamp, release bool, now engine.Time) engine.Time {
-	s := m.s
-	th := s.threads[tid]
+func (m *arpMech) OnStamped(tid int, l *cache.Line, addr isa.Addr, val uint64, st model.Stamp, release bool, now engine.Time) engine.Time {
 	// Coalesce into an existing same-line entry of the current epoch.
 	coalesced := false
-	for i := range th.arpBuffer {
-		if th.arpBuffer[i].line == l.Addr && th.arpBuffer[i].epoch == th.arpEpoch {
+	for i := range m.buffer[tid] {
+		if m.buffer[tid][i].line == l.Addr && m.buffer[tid][i].epoch == m.epoch[tid] {
 			if !st.IsZero() {
-				th.arpBuffer[i].stamps = append(th.arpBuffer[i].stamps, st)
+				m.buffer[tid][i].stamps = append(m.buffer[tid][i].stamps, st)
 			}
 			coalesced = true
 			break
@@ -107,19 +123,19 @@ func (m *arpMech) onStamped(tid int, l *cache.Line, st model.Stamp, release bool
 		if !st.IsZero() {
 			stamps = []model.Stamp{st}
 		}
-		th.arpBuffer = append(th.arpBuffer, arpEntry{line: l.Addr, epoch: th.arpEpoch, stamps: stamps})
+		m.buffer[tid] = append(m.buffer[tid], arpEntry{line: l.Addr, epoch: m.epoch[tid], stamps: stamps})
 	}
 	if release {
 		// ARP: a release raises the flag; the next acquire places the
 		// (one-sided) barrier. The release itself does not start a new
 		// epoch — the source of the recovery gap.
-		th.arpFlag = true
+		m.flag[tid] = true
 	}
 	// Capacity pressure: the buffer stalls the core until the oldest
 	// epoch drains.
-	if len(th.arpBuffer) > s.cfg.ARPBufferCap {
-		oldest := th.arpEpoch
-		for _, e := range th.arpBuffer {
+	if len(m.buffer[tid]) > m.sv.ARPBufferCap() {
+		oldest := m.epoch[tid]
+		for _, e := range m.buffer[tid] {
 			if e.epoch < oldest {
 				oldest = e.epoch
 			}
@@ -132,71 +148,63 @@ func (m *arpMech) onStamped(tid int, l *cache.Line, st model.Stamp, release bool
 	return now
 }
 
-func (m *arpMech) onAcquire(tid int, addr isa.Addr, now engine.Time) engine.Time {
-	th := m.s.threads[tid]
-	if th.arpFlag {
+func (m *arpMech) OnAcquire(tid int, addr isa.Addr, now engine.Time) engine.Time {
+	if m.flag[tid] {
 		// The flagged acquire closes the epoch: writes before the
 		// release are now ordered against writes after this acquire.
-		th.arpFlag = false
-		closing := th.arpEpoch
-		th.arpEpoch++
+		m.flag[tid] = false
+		closing := m.epoch[tid]
+		m.epoch[tid]++
 		m.drainEpochs(tid, closing+1, now) // proactive, off the critical path
 	}
 	return now
 }
 
-func (m *arpMech) onRMWAcquire(tid int, l *cache.Line, now engine.Time) engine.Time { return now }
+func (m *arpMech) OnRMWAcquire(tid int, l *cache.Line, now engine.Time) engine.Time { return now }
 
-// onEvict: a dirty line leaving the L1 becomes visible through the LLC
+// OnEvict: a dirty line leaving the L1 becomes visible through the LLC
 // to readers the buffer cannot see, so the owner's buffered epochs drain
 // eagerly and the directory holds the line until the ack — the delegated
 // ordering that RCBSP-style hardware performs when buffered data escapes.
-func (m *arpMech) onEvict(tid int, l *cache.Line, now engine.Time) engine.Time {
-	s := m.s
+func (m *arpMech) OnEvict(tid int, l *cache.Line, now engine.Time) engine.Time {
 	if l.NeedsPersist() {
-		th := s.threads[tid]
-		ack := m.drainEpochs(tid, th.arpEpoch+1, now)
-		s.blockLine(l.Addr, ack)
+		ack := m.drainEpochs(tid, m.epoch[tid]+1, now)
+		m.sv.BlockLine(l.Addr, ack)
 	}
 	return now
 }
 
-// onDowngrade implements ARP's inter-thread component: when a reader
+// OnDowngrade implements ARP's inter-thread component: when a reader
 // observes another thread's buffered writes, the source's epochs drain
 // (off the critical path) and the reader's *future* drains are held
 // behind the ack — so writes after the reader's acquire persist after
 // writes before the source's release, exactly the ARP-rule. Crucially,
 // nothing orders the source's release against its own preceding writes:
 // the recovery gap the paper identifies survives intact.
-func (m *arpMech) onDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Time) engine.Time {
-	s := m.s
+func (m *arpMech) OnDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Time) engine.Time {
 	if !l.NeedsPersist() {
 		return now
 	}
-	owner := s.threads[ownerTid]
-	ack := m.drainEpochs(ownerTid, owner.arpEpoch+1, now)
+	ack := m.drainEpochs(ownerTid, m.epoch[ownerTid]+1, now)
 	if reqTid >= 0 {
-		req := s.threads[reqTid]
-		if ack > req.arpDrain {
-			req.arpDrain = ack
+		if ack > m.drain[reqTid] {
+			m.drain[reqTid] = ack
 		}
 	}
 	return now
 }
 
-func (m *arpMech) onBarrier(tid int, now engine.Time) engine.Time {
-	th := m.s.threads[tid]
-	th.arpEpoch++
-	ack := m.drainEpochs(tid, th.arpEpoch, now)
+func (m *arpMech) OnBarrier(tid int, now engine.Time) engine.Time {
+	m.epoch[tid]++
+	ack := m.drainEpochs(tid, m.epoch[tid], now)
 	return engine.Max(now, ack)
 }
 
-func (m *arpMech) drain(tid int, now engine.Time) engine.Time {
-	th := m.s.threads[tid]
-	th.arpEpoch++
-	ack := m.drainEpochs(tid, th.arpEpoch, now)
+func (m *arpMech) Drain(tid int, now engine.Time) engine.Time {
+	m.epoch[tid]++
+	ack := m.drainEpochs(tid, m.epoch[tid], now)
 	return engine.Max(now, ack)
 }
 
-func (m *arpMech) persistsOnWriteback() bool { return false }
-func (m *arpMech) llcEvictPersists() bool    { return false }
+func (m *arpMech) PersistsOnWriteback() bool { return false }
+func (m *arpMech) LLCEvictPersists() bool    { return false }

@@ -1,4 +1,4 @@
-package memsys
+package mech
 
 import (
 	"lrp/internal/cache"
@@ -24,10 +24,29 @@ import (
 // Epochs of one thread persist in order: each epoch's flush is issued no
 // earlier than the previous epoch's final ack (the thread's horizon).
 type bbMech struct {
-	s *System
+	NoCrashState
+	sv SystemView
+
+	// horizon is each thread's epoch-serialization horizon: the final
+	// ack time of the last closed epoch (own or inherited from a
+	// producer via a lazy inter-thread dependency). prevHorizon is the
+	// ack horizon of the epoch before that: the hardware tracks a
+	// bounded number of unpersisted epochs, so closing a new epoch
+	// stalls until the epoch-before-last has fully acked (two epochs in
+	// flight).
+	horizon     []engine.Time
+	prevHorizon []engine.Time
 }
 
-func (m *bbMech) kind() persist.Kind { return persist.BB }
+func newBB(sv SystemView) Mechanism {
+	return &bbMech{
+		sv:          sv,
+		horizon:     make([]engine.Time, sv.Cores()),
+		prevHorizon: make([]engine.Time, sv.Cores()),
+	}
+}
+
+func (m *bbMech) Kind() persist.Kind { return persist.BB }
 
 // flushEpoch closes the current epoch: it proactively issues persists for
 // every dirty line of the epoch, serialized behind the thread's epoch
@@ -36,50 +55,43 @@ func (m *bbMech) kind() persist.Kind { return persist.BB }
 // epoch-before-last has fully acked — the cost that dominates BB under
 // NVM bandwidth pressure. It returns the (possibly stalled) time.
 func (m *bbMech) flushEpoch(tid int, now engine.Time) engine.Time {
-	s := m.s
-	th := s.threads[tid]
-	cur := th.epochs.Current()
+	sv := m.sv
+	cur := sv.Epochs(tid).Current()
 	stalled := false
-	if th.bbHorizon > now {
+	if m.horizon[tid] > now {
 		// One epoch in flight: the barrier drains the previous epoch
 		// before the next may close (the flush queue is bounded and
 		// epochs persist strictly in order).
-		now = th.bbHorizon
+		now = m.horizon[tid]
 		stalled = true
 	}
-	issue := engine.Max(now, th.bbHorizon)
-	horizon := th.bbHorizon
-	for _, l := range s.scanDirty(tid) {
+	issue := engine.Max(now, m.horizon[tid])
+	horizon := m.horizon[tid]
+	for _, l := range sv.ScanDirty(tid) {
 		if l.Epoch != cur {
 			continue // older epochs are already in flight
 		}
-		done := s.persistL1Line(tid, l, now, issue, stalled)
-		th.pending.Add(done)
+		done := sv.PersistL1Line(tid, l, now, issue, stalled)
+		sv.Pending(tid).Add(done)
 		if done > horizon {
 			horizon = done
 		}
 	}
-	th.bbPrevHorizon = th.bbHorizon
-	th.bbHorizon = horizon
-	epoch, overflowed := th.epochs.Advance()
+	m.prevHorizon[tid] = m.horizon[tid]
+	m.horizon[tid] = horizon
+	epoch, overflowed := sv.Epochs(tid).Advance()
 	if overflowed {
 		// Epoch-id wraparound: tags become incomparable, so everything
 		// still buffered must go (mirrors LRP's overflow flush).
-		s.stats.EpochOverflows++
-		if s.obs != nil {
-			s.obs.EpochOverflow(tid, now)
-		}
-		th.bbHorizon = s.flushAllDirty(tid, issue, false)
+		sv.NoteEpochOverflow(tid, now)
+		m.horizon[tid] = sv.FlushAllDirty(tid, issue, false)
 	}
-	if s.obs != nil {
-		s.obs.EpochAdvance(tid, epoch, now)
-	}
+	sv.NoteEpochAdvance(tid, epoch, now)
 	return now
 }
 
-func (m *bbMech) onWrite(tid int, l *cache.Line, release bool, now engine.Time) engine.Time {
-	s := m.s
-	th := s.threads[tid]
+func (m *bbMech) OnWrite(tid int, l *cache.Line, release bool, now engine.Time) engine.Time {
+	sv := m.sv
 	// Conflict: the line's previous contents are being flushed; wait for
 	// the ack before overwriting (the drain reads the line).
 	if engine.Time(l.FlushedUntil) > now {
@@ -88,12 +100,12 @@ func (m *bbMech) onWrite(tid int, l *cache.Line, release bool, now engine.Time) 
 	// Conflict: the line holds unpersisted data from an older epoch; a
 	// dirty line must hold a single epoch, so persist the old epoch on
 	// the critical path.
-	if l.NeedsPersist() && l.Epoch != th.epochs.Current() {
-		issue := engine.Max(now, th.bbHorizon)
-		done := s.persistL1Line(tid, l, now, issue, true)
-		th.pending.Add(done)
-		if done > th.bbHorizon {
-			th.bbHorizon = done
+	if l.NeedsPersist() && l.Epoch != sv.Epochs(tid).Current() {
+		issue := engine.Max(now, m.horizon[tid])
+		done := sv.PersistL1Line(tid, l, now, issue, true)
+		sv.Pending(tid).Add(done)
+		if done > m.horizon[tid] {
+			m.horizon[tid] = done
 		}
 		now = done
 	}
@@ -104,9 +116,8 @@ func (m *bbMech) onWrite(tid int, l *cache.Line, release bool, now engine.Time) 
 	return now
 }
 
-func (m *bbMech) onStamped(tid int, l *cache.Line, st model.Stamp, release bool, now engine.Time) engine.Time {
-	th := m.s.threads[tid]
-	l.Epoch = th.epochs.Current()
+func (m *bbMech) OnStamped(tid int, l *cache.Line, addr isa.Addr, val uint64, st model.Stamp, release bool, now engine.Time) engine.Time {
+	l.Epoch = m.sv.Epochs(tid).Current()
 	if release {
 		// Full barrier after the release: the release sits alone in its
 		// epoch and its flush is issued immediately.
@@ -115,51 +126,48 @@ func (m *bbMech) onStamped(tid int, l *cache.Line, st model.Stamp, release bool,
 	return now
 }
 
-func (m *bbMech) onAcquire(tid int, addr isa.Addr, now engine.Time) engine.Time { return now }
+func (m *bbMech) OnAcquire(tid int, addr isa.Addr, now engine.Time) engine.Time { return now }
 
-func (m *bbMech) onRMWAcquire(tid int, l *cache.Line, now engine.Time) engine.Time {
-	s := m.s
-	th := s.threads[tid]
+func (m *bbMech) OnRMWAcquire(tid int, l *cache.Line, now engine.Time) engine.Time {
+	sv := m.sv
 	if l.NeedsPersist() {
-		issue := engine.Max(now, th.bbHorizon)
-		done := s.persistL1Line(tid, l, now, issue, true)
-		th.pending.Add(done)
+		issue := engine.Max(now, m.horizon[tid])
+		done := sv.PersistL1Line(tid, l, now, issue, true)
+		sv.Pending(tid).Add(done)
 		return done
 	}
 	return engine.Max(now, engine.Time(l.FlushedUntil))
 }
 
-func (m *bbMech) onEvict(tid int, l *cache.Line, now engine.Time) engine.Time {
-	s := m.s
-	th := s.threads[tid]
+func (m *bbMech) OnEvict(tid int, l *cache.Line, now engine.Time) engine.Time {
+	sv := m.sv
 	if l.NeedsPersist() {
 		// Unflushed (current-epoch) data evicted: persist on the
 		// critical path, behind the epoch horizon.
-		issue := engine.Max(now, th.bbHorizon)
-		done := s.persistL1Line(tid, l, now, issue, true)
-		th.pending.Add(done)
+		issue := engine.Max(now, m.horizon[tid])
+		done := sv.PersistL1Line(tid, l, now, issue, true)
+		sv.Pending(tid).Add(done)
 		return done
 	}
 	if engine.Time(l.FlushedUntil) > now {
 		// Flush in flight: the eviction proceeds, but the directory
 		// blocks consumers of the line until the ack (transient state).
-		s.blockLine(l.Addr, engine.Time(l.FlushedUntil))
+		sv.BlockLine(l.Addr, engine.Time(l.FlushedUntil))
 	}
 	return now
 }
 
-func (m *bbMech) onDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Time) engine.Time {
-	s := m.s
-	owner := s.threads[ownerTid]
+func (m *bbMech) OnDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Time) engine.Time {
+	sv := m.sv
 	var ack engine.Time
 	if l.NeedsPersist() {
 		// The shared line's writes are not durable yet: persist them off
 		// the critical path (lazy inter-thread enforcement)...
-		issue := engine.Max(now, owner.bbHorizon)
-		ack = s.persistL1Line(ownerTid, l, now, issue, false)
-		owner.pending.Add(ack)
-		if ack > owner.bbHorizon {
-			owner.bbHorizon = ack
+		issue := engine.Max(now, m.horizon[ownerTid])
+		ack = sv.PersistL1Line(ownerTid, l, now, issue, false)
+		sv.Pending(ownerTid).Add(ack)
+		if ack > m.horizon[ownerTid] {
+			m.horizon[ownerTid] = ack
 		}
 	} else {
 		ack = engine.Time(l.FlushedUntil)
@@ -169,30 +177,28 @@ func (m *bbMech) onDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Tim
 	// blocking the requester's execution. Other consumers may reach the
 	// data through the resulting Shared copies without a downgrade, so
 	// the directory also holds the line until the ack.
-	if reqTid >= 0 && ack > s.threads[reqTid].bbHorizon {
-		s.threads[reqTid].bbHorizon = ack
+	if reqTid >= 0 && ack > m.horizon[reqTid] {
+		m.horizon[reqTid] = ack
 	}
-	s.blockLine(l.Addr, ack)
+	sv.BlockLine(l.Addr, ack)
 	return now
 }
 
-func (m *bbMech) onBarrier(tid int, now engine.Time) engine.Time {
-	th := m.s.threads[tid]
-	done := m.s.flushAllDirty(tid, engine.Max(now, th.bbHorizon), true)
-	if done > th.bbHorizon {
-		th.bbHorizon = done
+func (m *bbMech) OnBarrier(tid int, now engine.Time) engine.Time {
+	done := m.sv.FlushAllDirty(tid, engine.Max(now, m.horizon[tid]), true)
+	if done > m.horizon[tid] {
+		m.horizon[tid] = done
 	}
 	return done
 }
 
-func (m *bbMech) drain(tid int, now engine.Time) engine.Time {
-	th := m.s.threads[tid]
-	done := m.s.flushAllDirty(tid, engine.Max(now, th.bbHorizon), false)
-	if done > th.bbHorizon {
-		th.bbHorizon = done
+func (m *bbMech) Drain(tid int, now engine.Time) engine.Time {
+	done := m.sv.FlushAllDirty(tid, engine.Max(now, m.horizon[tid]), false)
+	if done > m.horizon[tid] {
+		m.horizon[tid] = done
 	}
 	return done
 }
 
-func (m *bbMech) persistsOnWriteback() bool { return true }
-func (m *bbMech) llcEvictPersists() bool    { return false }
+func (m *bbMech) PersistsOnWriteback() bool { return true }
+func (m *bbMech) LLCEvictPersists() bool    { return false }

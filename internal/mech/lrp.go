@@ -1,4 +1,4 @@
-package memsys
+package mech
 
 import (
 	"lrp/internal/cache"
@@ -20,10 +20,13 @@ import (
 // paths block a core; everything else is off the critical path, which is
 // where LRP's advantage over the full barriers comes from.
 type lrpMech struct {
-	s *System
+	NoCrashState
+	sv SystemView
 }
 
-func (m *lrpMech) kind() persist.Kind { return persist.LRP }
+func newLRP(sv SystemView) Mechanism { return &lrpMech{sv: sv} }
+
+func (m *lrpMech) Kind() persist.Kind { return persist.LRP }
 
 // persistReleased runs the persist-engine procedure for released line l
 // of thread tid: persist all lines with min-epoch older than l's release
@@ -31,18 +34,17 @@ func (m *lrpMech) kind() persist.Kind { return persist.LRP }
 // It returns the final ack time; callers that must block (I2, I3) wait
 // for it, callers that must not (I1, RET pressure) ignore it.
 func (m *lrpMech) persistReleased(tid int, l *cache.Line, now engine.Time, critical bool) engine.Time {
-	s := m.s
-	th := s.threads[tid]
+	sv := m.sv
 	// An injected NVM-machinery stall delays the whole engine run; every
 	// ordering hold rides on the returned ack times, so the run's persists
 	// land later but in the same order.
-	now = s.faultStall(tid, now)
+	now = sv.FaultStall(tid, now)
 	trigger := persist.LineRef{Addr: l.Addr, MinEpoch: l.MinEpoch, Released: true}
 
 	// Scan the L1 (§5.2.2: the engine examines all cache lines).
 	byAddr := make(map[isa.Addr]*cache.Line)
 	var scanned []persist.LineRef
-	s.l1s[tid].Scan(func(cl *cache.Line) {
+	sv.ScanL1(tid, func(cl *cache.Line) {
 		if cl.NeedsPersist() {
 			scanned = append(scanned, persist.LineRef{
 				Addr: cl.Addr, MinEpoch: cl.MinEpoch, Released: cl.Released(),
@@ -51,22 +53,19 @@ func (m *lrpMech) persistReleased(tid int, l *cache.Line, now engine.Time, criti
 		}
 	})
 	sched := persist.BuildSchedule(trigger, scanned)
-	s.stats.EngineScans++
-	s.stats.EngineReleases += uint64(len(sched.Releases))
-	if s.obs != nil {
-		s.obs.EngineScan(tid, len(scanned), len(sched.Releases), now)
-	}
+	sv.NoteEngineScan(tid, len(scanned), len(sched.Releases), now)
 
 	// Only-written lines persist immediately and concurrently; the
 	// pending-persists counter tracks them. The engine also waits for
 	// persists already in flight from earlier engine runs.
-	th.pending.DrainUpTo(now)
-	horizon := th.pending.MaxTime(now)
+	pending := sv.Pending(tid)
+	pending.DrainUpTo(now)
+	horizon := pending.MaxTime(now)
 	for _, w := range sched.Writes {
 		addr := w.Addr
-		done := s.persistL1Line(tid, byAddr[addr], now, now, critical)
-		th.pending.Add(done)
-		s.blockLine(addr, done) // directory holds the line until the ack (I4)
+		done := sv.PersistL1Line(tid, byAddr[addr], now, now, critical)
+		pending.Add(done)
+		sv.BlockLine(addr, done) // directory holds the line until the ack (I4)
 		if done > horizon {
 			horizon = done
 		}
@@ -79,33 +78,32 @@ func (m *lrpMech) persistReleased(tid int, l *cache.Line, now engine.Time, criti
 		if cl == nil {
 			cl = l
 		}
-		th.ret.RemoveAt(cl.Addr, now)
+		sv.RET(tid).RemoveAt(cl.Addr, now)
 		addr := cl.Addr
-		t = s.persistL1Line(tid, cl, now, t, critical)
-		th.pending.Add(t)
+		t = sv.PersistL1Line(tid, cl, now, t, critical)
+		pending.Add(t)
 		// The directory holds the line until the ack: a released line's
 		// value must not become readable (through S copies or the LLC)
 		// before it is durable, or a consumer could out-persist it.
-		s.blockLine(addr, t)
+		sv.BlockLine(addr, t)
 	}
 	return t
 }
 
-func (m *lrpMech) onWrite(tid int, l *cache.Line, release bool, now engine.Time) engine.Time {
-	s := m.s
-	th := s.threads[tid]
+func (m *lrpMech) OnWrite(tid int, l *cache.Line, release bool, now engine.Time) engine.Time {
+	sv := m.sv
 	if !release {
 		// §5.2.2 "On a write": a clean line adopts the thread's current
 		// epoch; a dirty line keeps its (smaller) min-epoch.
 		if !l.NeedsPersist() {
-			l.MinEpoch = th.epochs.Current()
+			l.MinEpoch = sv.Epochs(tid).Current()
 		}
 		return now
 	}
 	// Backpressure: the persist engine tracks a bounded number of
 	// outstanding persists; a release that would exceed it stalls until
 	// an ack retires.
-	if free := th.pending.ReleaseSlots(now, s.cfg.MaxPendingPersists-1); free > now {
+	if free := sv.Pending(tid).ReleaseSlots(now, sv.MaxPendingPersists()-1); free > now {
 		now = free
 	}
 	// §5.2.2 "On a release": the epoch advances; the new epoch is the
@@ -120,109 +118,98 @@ func (m *lrpMech) onWrite(tid int, l *cache.Line, release bool, now engine.Time)
 		// Case (2): only-written line — a release never coalesces with
 		// earlier writes; the old content persists (off the critical
 		// path) and the line is then treated as clean.
-		done := s.persistL1Line(tid, l, now, now, false)
-		th.pending.Add(done)
+		done := sv.PersistL1Line(tid, l, now, now, false)
+		sv.Pending(tid).Add(done)
 	}
-	epoch, overflowed := th.epochs.Advance()
+	epoch, overflowed := sv.Epochs(tid).Advance()
 	if overflowed {
 		// §5.2.1: on epoch-id overflow, persist everything buffered and
 		// restart the epochs.
-		s.stats.EpochOverflows++
-		if s.obs != nil {
-			s.obs.EpochOverflow(tid, now)
-		}
-		s.flushAllDirty(tid, now, false)
-		th.ret.Clear()
-		epoch, _ = th.epochs.Advance()
+		sv.NoteEpochOverflow(tid, now)
+		sv.FlushAllDirty(tid, now, false)
+		sv.RET(tid).Clear()
+		epoch, _ = sv.Epochs(tid).Advance()
 	}
-	if s.obs != nil {
-		s.obs.EpochAdvance(tid, epoch, now)
-	}
+	sv.NoteEpochAdvance(tid, epoch, now)
 	// RET pressure: persist the oldest release before allocating.
-	if th.ret.AtWatermark() {
-		if e, ok := th.ret.Oldest(); ok {
-			s.stats.RETWatermarkFlushes++
-			if s.obs != nil {
-				s.obs.RETDrain(tid, uint64(e.Line), now)
-			}
-			if cl := s.l1s[tid].Lookup(e.Line); cl != nil && cl.Released() {
+	if sv.RET(tid).AtWatermark() {
+		if e, ok := sv.RET(tid).Oldest(); ok {
+			sv.NoteRETDrain(tid, e.Line, now)
+			if cl := sv.LookupL1(tid, e.Line); cl != nil && cl.Released() {
 				m.persistReleased(tid, cl, now, false)
 			} else {
-				th.ret.RemoveAt(e.Line, now)
+				sv.RET(tid).RemoveAt(e.Line, now)
 			}
 		}
 	}
 	l.MinEpoch = epoch
 	l.Release = true
-	th.ret.AddAt(l.Addr, epoch, now)
+	sv.RET(tid).AddAt(l.Addr, epoch, now)
 	return now
 }
 
-func (m *lrpMech) onStamped(tid int, l *cache.Line, st model.Stamp, release bool, now engine.Time) engine.Time {
+func (m *lrpMech) OnStamped(tid int, l *cache.Line, addr isa.Addr, val uint64, st model.Stamp, release bool, now engine.Time) engine.Time {
 	return now
 }
 
-// onAcquire needs no action (§5.2.2): the synchronizing release was made
+// OnAcquire needs no action (§5.2.2): the synchronizing release was made
 // durable by the downgrade/eviction invariants before the acquire's read
 // could complete.
-func (m *lrpMech) onAcquire(tid int, addr isa.Addr, now engine.Time) engine.Time { return now }
+func (m *lrpMech) OnAcquire(tid int, addr isa.Addr, now engine.Time) engine.Time { return now }
 
-// onRMWAcquire is Invariant I3: a successful acquire-RMW blocks the
+// OnRMWAcquire is Invariant I3: a successful acquire-RMW blocks the
 // pipeline until its write persists.
-func (m *lrpMech) onRMWAcquire(tid int, l *cache.Line, now engine.Time) engine.Time {
+func (m *lrpMech) OnRMWAcquire(tid int, l *cache.Line, now engine.Time) engine.Time {
 	if l.Released() {
 		return m.persistReleased(tid, l, now, true)
 	}
 	if !l.NeedsPersist() {
 		return now
 	}
-	done := m.s.persistL1Line(tid, l, now, now, true)
-	m.s.threads[tid].pending.Add(done)
+	done := m.sv.PersistL1Line(tid, l, now, now, true)
+	m.sv.Pending(tid).Add(done)
 	return done
 }
 
-// onEvict is Invariant I1: evicting a released line triggers the persist
+// OnEvict is Invariant I1: evicting a released line triggers the persist
 // engine but does not wait for the released line's own ack; the directory
 // blocks requests for the line until the ack instead (§5.2.3 PutM
 // transient state). Only-written evictions persist off the critical path
 // (Invariant I4 at the directory).
-func (m *lrpMech) onEvict(tid int, l *cache.Line, now engine.Time) engine.Time {
-	s := m.s
+func (m *lrpMech) OnEvict(tid int, l *cache.Line, now engine.Time) engine.Time {
+	sv := m.sv
 	if l.Released() {
 		ack := m.persistReleased(tid, l, now, false)
-		s.blockLine(l.Addr, ack)
+		sv.BlockLine(l.Addr, ack)
 		return now
 	}
 	if l.NeedsPersist() {
-		done := s.persistL1Line(tid, l, now, now, false)
-		s.threads[tid].pending.Add(done)
-		s.blockLine(l.Addr, done)
+		done := sv.PersistL1Line(tid, l, now, now, false)
+		sv.Pending(tid).Add(done)
+		sv.BlockLine(l.Addr, done)
 	} else if f := engine.Time(l.FlushedUntil); f > now {
 		// Persist still in flight: the directory holds the line until
 		// the ack (PutM transient state, §5.2.3).
-		s.blockLine(l.Addr, f)
+		sv.BlockLine(l.Addr, f)
 	}
 	return now
 }
 
-// onDowngrade is Invariant I2: downgrading a released line blocks the
+// OnDowngrade is Invariant I2: downgrading a released line blocks the
 // requester until all preceding writes *and the release itself* persist.
-func (m *lrpMech) onDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Time) engine.Time {
-	s := m.s
+func (m *lrpMech) OnDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Time) engine.Time {
+	sv := m.sv
 	if l.Released() {
 		done := m.persistReleased(ownerTid, l, now, true)
-		s.stats.I2Stalls++
-		if done > now {
-			s.stats.I2Cycles += uint64(done - now)
-		}
+		sv.NoteI2Stall(now, done)
 		return done
 	}
 	if l.NeedsPersist() {
 		// Only-written: persist off the critical path; the directory
 		// blocks later requests until the ack (I4).
-		done := s.persistL1Line(ownerTid, l, now, now, false)
-		s.threads[ownerTid].pending.Add(done)
-		s.blockLine(l.Addr, done)
+		done := sv.PersistL1Line(ownerTid, l, now, now, false)
+		sv.Pending(ownerTid).Add(done)
+		sv.BlockLine(l.Addr, done)
 		return now
 	}
 	if f := engine.Time(l.FlushedUntil); f > now {
@@ -231,25 +218,24 @@ func (m *lrpMech) onDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Ti
 		// is squashed only at the ack, so the downgrade — like I2 —
 		// waits for it. Without this wait a consumer could out-persist
 		// the producer's release.
-		s.blockLine(l.Addr, f)
-		s.stats.I2Stalls++
-		s.stats.I2Cycles += uint64(f - now)
+		sv.BlockLine(l.Addr, f)
+		sv.NoteI2Stall(now, f)
 		return f
 	}
 	return now
 }
 
-func (m *lrpMech) onBarrier(tid int, now engine.Time) engine.Time {
-	done := m.s.flushAllDirty(tid, now, true)
-	m.s.threads[tid].ret.Clear()
+func (m *lrpMech) OnBarrier(tid int, now engine.Time) engine.Time {
+	done := m.sv.FlushAllDirty(tid, now, true)
+	m.sv.RET(tid).Clear()
 	return done
 }
 
-func (m *lrpMech) drain(tid int, now engine.Time) engine.Time {
-	done := m.s.flushAllDirty(tid, now, false)
-	m.s.threads[tid].ret.Clear()
+func (m *lrpMech) Drain(tid int, now engine.Time) engine.Time {
+	done := m.sv.FlushAllDirty(tid, now, false)
+	m.sv.RET(tid).Clear()
 	return done
 }
 
-func (m *lrpMech) persistsOnWriteback() bool { return true }
-func (m *lrpMech) llcEvictPersists() bool    { return false }
+func (m *lrpMech) PersistsOnWriteback() bool { return true }
+func (m *lrpMech) LLCEvictPersists() bool    { return false }

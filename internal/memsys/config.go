@@ -1,7 +1,8 @@
 // Package memsys assembles the full simulated machine: cores with private
 // L1 caches, a banked NUCA LLC with a full-map MESI directory, NVM
-// controllers, and one of the five persistency enforcement mechanisms the
-// paper evaluates (NOP, SB, BB, ARP, LRP). Simulated programs — the
+// controllers, and a pluggable persistency enforcement mechanism drawn
+// from package mech's registry (the paper's five — NOP, SB, BB, ARP,
+// LRP — plus any registered addition). Simulated programs — the
 // log-free data structures in package lfds — execute against per-thread
 // Ctx handles; a deterministic scheduler interleaves them in virtual-time
 // order, so every run is exactly reproducible from its configuration.
@@ -12,6 +13,7 @@ import (
 
 	"lrp/internal/engine"
 	"lrp/internal/fault"
+	"lrp/internal/mech"
 	"lrp/internal/nvm"
 	"lrp/internal/obs"
 	"lrp/internal/persist"
@@ -146,6 +148,9 @@ func TestConfig(cores int) Config {
 func (c Config) Validate() error {
 	if c.Cores <= 0 || c.Cores > 64 {
 		return fmt.Errorf("memsys: cores must be in 1..64, got %d", c.Cores)
+	}
+	if !mech.Known(c.Mechanism) {
+		return fmt.Errorf("memsys: no registered mechanism for %v", c.Mechanism)
 	}
 	if c.MeshDim <= 0 {
 		return fmt.Errorf("memsys: mesh dimension must be positive")

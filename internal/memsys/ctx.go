@@ -181,9 +181,9 @@ func (s *System) Drain() engine.Time {
 		s.rec.RecordDrain()
 	}
 	for _, th := range s.threads {
-		th.clock = s.mech.drain(th.id, th.clock)
+		th.clock = s.mech.Drain(th.id, th.clock)
 	}
-	if s.mech.llcEvictPersists() {
+	if s.mech.LLCEvictPersists() {
 		now := s.Time()
 		for line, stamps := range s.llcStamps {
 			s.persistAddr(-1, line, stamps, now, now, false)

@@ -1,79 +1,120 @@
 package memsys
 
 import (
-	"fmt"
-
 	"lrp/internal/cache"
 	"lrp/internal/engine"
 	"lrp/internal/isa"
+	"lrp/internal/mech"
 	"lrp/internal/model"
 	"lrp/internal/persist"
 )
 
-// mechanism is the persistency-enforcement policy plugged into the
-// coherence protocol. Hooks receive the acting thread, the affected line
-// and the current time, and return the (possibly later) time at which the
-// architectural action may proceed. A returned time later than `now`
-// means the action stalled on the critical path.
-type mechanism interface {
-	kind() persist.Kind
+// sysView adapts *System to mech.SystemView: the narrow facade the
+// pluggable persistency mechanisms program against. Mechanisms never see
+// *System; everything they may touch goes through these methods, so the
+// machine's internals (threads, caches, stats, observability) stay free
+// of mechanism-specific code and a new mechanism cannot reach beyond the
+// contract.
+type sysView System
 
-	// onWrite runs before a write (or the write half of an RMW) updates
-	// the line. The line is Modified; its metadata still reflects the
-	// pre-write state.
-	onWrite(tid int, l *cache.Line, release bool, now engine.Time) engine.Time
-	// onStamped runs after the write became visible and was stamped.
-	onStamped(tid int, l *cache.Line, st model.Stamp, release bool, now engine.Time) engine.Time
-	// onAcquire runs after an acquire load (or the read half of an
-	// acquire-RMW) read its value.
-	onAcquire(tid int, addr isa.Addr, now engine.Time) engine.Time
-	// onRMWAcquire implements Invariant I3 for a successful acquire-RMW.
-	onRMWAcquire(tid int, l *cache.Line, now engine.Time) engine.Time
-	// onEvict runs before a Modified line leaves tid's L1 for capacity
-	// reasons (Invariant I1).
-	onEvict(tid int, l *cache.Line, now engine.Time) engine.Time
-	// onDowngrade runs before a Modified line is forwarded from
-	// ownerTid's L1 to reqTid (Invariant I2). The returned time blocks
-	// the *requester*.
-	onDowngrade(ownerTid, reqTid int, l *cache.Line, now engine.Time) engine.Time
-	// onBarrier implements an explicit full persist barrier.
-	onBarrier(tid int, now engine.Time) engine.Time
-	// drain flushes all of tid's buffered persist state (clean shutdown).
-	drain(tid int, now engine.Time) engine.Time
+func (v *sysView) sys() *System { return (*System)(v) }
 
-	// persistsOnWriteback reports whether data leaving an L1 is durable
-	// (SB/BB/LRP persist write-backs; NOP/ARP do not).
-	persistsOnWriteback() bool
-	// llcEvictPersists reports whether dirty LLC evictions write NVM
-	// (the NOP durability path; ARP's durability is its persist buffer).
-	llcEvictPersists() bool
+func (v *sysView) Cores() int               { return v.cfg.Cores }
+func (v *sysView) MaxPendingPersists() int  { return v.cfg.MaxPendingPersists }
+func (v *sysView) ARPBufferCap() int        { return v.cfg.ARPBufferCap }
+
+func (v *sysView) Epochs(tid int) *persist.EpochCounter { return v.threads[tid].epochs }
+func (v *sysView) RET(tid int) *persist.RET             { return v.threads[tid].ret }
+func (v *sysView) Pending(tid int) *engine.CompletionSet {
+	return &v.threads[tid].pending
 }
 
-func newMechanism(k persist.Kind, s *System) mechanism {
-	switch k {
-	case persist.NOP:
-		return &nopMech{s: s}
-	case persist.SB:
-		return &sbMech{s: s}
-	case persist.BB:
-		return &bbMech{s: s}
-	case persist.ARP:
-		return &arpMech{s: s}
-	case persist.LRP:
-		return &lrpMech{s: s}
-	default:
-		panic(fmt.Sprintf("memsys: unknown mechanism %v", k))
+func (v *sysView) ScanL1(tid int, fn func(*cache.Line)) { v.l1s[tid].Scan(fn) }
+
+func (v *sysView) LookupL1(tid int, line isa.Addr) *cache.Line {
+	return v.l1s[tid].Lookup(line)
+}
+
+func (v *sysView) ScanDirty(tid int) []*cache.Line { return v.sys().scanDirty(tid) }
+
+func (v *sysView) PersistL1Line(tid int, l *cache.Line, now, earliest engine.Time, critical bool) engine.Time {
+	return v.sys().persistL1Line(tid, l, now, earliest, critical)
+}
+
+func (v *sysView) PersistAddr(tid int, addr isa.Addr, stamps []model.Stamp, now, earliest engine.Time, critical bool) engine.Time {
+	return v.sys().persistAddr(tid, addr, stamps, now, earliest, critical)
+}
+
+func (v *sysView) FlushAllDirty(tid int, now engine.Time, critical bool) engine.Time {
+	return v.sys().flushAllDirty(tid, now, critical)
+}
+
+func (v *sysView) BlockLine(line isa.Addr, t engine.Time) { v.sys().blockLine(line, t) }
+
+func (v *sysView) FaultStall(tid int, now engine.Time) engine.Time {
+	return v.sys().faultStall(tid, now)
+}
+
+func (v *sysView) Tracking() bool { return v.tracker != nil }
+
+func (v *sysView) SetPersisted(st model.Stamp, at engine.Time) {
+	if v.tracker != nil {
+		v.tracker.SetPersisted(st, at)
 	}
 }
 
+func (v *sysView) NoteEngineScan(tid, scanned, releases int, now engine.Time) {
+	s := v.sys()
+	s.stats.EngineScans++
+	s.stats.EngineReleases += uint64(releases)
+	if s.obs != nil {
+		s.obs.EngineScan(tid, scanned, releases, now)
+	}
+}
+
+func (v *sysView) NoteEpochOverflow(tid int, now engine.Time) {
+	s := v.sys()
+	s.stats.EpochOverflows++
+	if s.obs != nil {
+		s.obs.EpochOverflow(tid, now)
+	}
+}
+
+func (v *sysView) NoteEpochAdvance(tid int, epoch uint32, now engine.Time) {
+	if v.obs != nil {
+		v.obs.EpochAdvance(tid, epoch, now)
+	}
+}
+
+func (v *sysView) NoteRETDrain(tid int, line isa.Addr, now engine.Time) {
+	s := v.sys()
+	s.stats.RETWatermarkFlushes++
+	if s.obs != nil {
+		s.obs.RETDrain(tid, uint64(line), now)
+	}
+}
+
+func (v *sysView) NoteI2Stall(from, to engine.Time) {
+	s := v.sys()
+	s.stats.I2Stalls++
+	if to > from {
+		s.stats.I2Cycles += uint64(to - from)
+	}
+}
+
+var _ mech.SystemView = (*sysView)(nil)
+
 // scanDirty returns all lines of tid's L1 holding unpersisted writes.
+// The returned slice is backed by a per-core scratch buffer and is valid
+// only until the next scanDirty or flushAllDirty call for the same tid.
 func (s *System) scanDirty(tid int) []*cache.Line {
-	var out []*cache.Line
+	out := s.dirtyScratch[tid][:0]
 	s.l1s[tid].Scan(func(l *cache.Line) {
 		if l.NeedsPersist() {
 			out = append(out, l)
 		}
 	})
+	s.dirtyScratch[tid] = out
 	return out
 }
 

@@ -237,7 +237,7 @@ func TestWorkAdvancesClock(t *testing.T) {
 // drainConvergence: after Drain, the durable image matches the
 // architectural image for everything written, under every mechanism.
 func TestDrainConvergence(t *testing.T) {
-	for _, k := range persist.Kinds {
+	for _, k := range persist.Kinds() {
 		k := k
 		t.Run(k.String(), func(t *testing.T) {
 			s := newSys(t, 2, k)

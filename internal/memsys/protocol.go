@@ -23,7 +23,7 @@ func (s *System) read(tid int, addr isa.Addr, acquire bool) uint64 {
 		if s.tracker != nil {
 			s.tracker.OnAcquire(tid, addr)
 		}
-		t = s.mech.onAcquire(tid, addr, t)
+		t = s.mech.OnAcquire(tid, addr, t)
 	}
 	s.stats.Ops++
 	th.clock = t
@@ -51,7 +51,7 @@ func (s *System) rmw(tid int, addr isa.Addr, expected, val uint64, order isa.Ord
 		if s.tracker != nil {
 			s.tracker.OnAcquire(tid, addr)
 		}
-		t = s.mech.onAcquire(tid, addr, t)
+		t = s.mech.OnAcquire(tid, addr, t)
 	}
 	swapped := old == expected
 	if swapped {
@@ -66,7 +66,7 @@ func (s *System) rmw(tid int, addr isa.Addr, expected, val uint64, order isa.Ord
 func (s *System) barrier(tid int) {
 	th := s.threads[tid]
 	t := th.clock + s.cfg.IssueCost
-	t2 := s.mech.onBarrier(tid, t)
+	t2 := s.mech.OnBarrier(tid, t)
 	s.stall(tid, obs.StallBarrier, t, t2)
 	if s.obs != nil {
 		s.obs.Barrier(tid, t, t2)
@@ -102,7 +102,7 @@ func (s *System) obtainExclusive(tid int, line isa.Addr, t engine.Time) engine.T
 // it visible. The line must already be Modified in tid's L1.
 func (s *System) performWrite(tid int, addr isa.Addr, val uint64, release, rmwAcquire bool, t engine.Time) engine.Time {
 	l := s.l1s[tid].Lookup(addr.Line())
-	t2 := s.mech.onWrite(tid, l, release, t)
+	t2 := s.mech.OnWrite(tid, l, release, t)
 	s.stall(tid, obs.StallWrite, t, t2)
 	t = t2
 	var st model.Stamp
@@ -116,11 +116,11 @@ func (s *System) performWrite(tid int, addr isa.Addr, val uint64, release, rmwAc
 	}
 	l.Pending = true
 	s.mem.Write(addr, val)
-	t = s.mech.onStamped(tid, l, st, release, t)
+	t = s.mech.OnStamped(tid, l, addr, val, st, release, t)
 	if rmwAcquire {
 		// Invariant I3: an acquire-RMW blocks the pipeline until its
 		// write persists.
-		t3 := s.mech.onRMWAcquire(tid, l, t)
+		t3 := s.mech.OnRMWAcquire(tid, l, t)
 		s.stall(tid, obs.StallRMWAcquire, t, t3)
 		t = t3
 	}
@@ -175,7 +175,7 @@ func (s *System) fetch(tid int, line isa.Addr, exclusive bool, t engine.Time) en
 			if s.obs != nil {
 				s.obs.Downgrade(owner, uint64(line), downgradeCause(ol, t), t)
 			}
-			t2 := s.mech.onDowngrade(owner, tid, ol, t)
+			t2 := s.mech.OnDowngrade(owner, tid, ol, t)
 			// The requester is the thread that pays any I2 wait.
 			s.stall(tid, obs.StallDowngrade, t, t2)
 			t = t2
@@ -249,7 +249,7 @@ func (s *System) evictL1(tid int, victim *cache.Line, t engine.Time) engine.Time
 		if s.obs != nil {
 			s.obs.DirtyEviction(tid, uint64(victim.Addr), t)
 		}
-		t2 := s.mech.onEvict(tid, victim, t)
+		t2 := s.mech.OnEvict(tid, victim, t)
 		s.stall(tid, obs.StallEvict, t, t2)
 		t = t2
 		s.installWriteback(tid, victim, t)
@@ -281,7 +281,7 @@ func (s *System) installWriteback(tid int, l *cache.Line, t engine.Time) {
 	if l.NeedsPersist() {
 		// Data left the L1 without persisting (NOP or ARP).
 		s.llc.MarkDirty(l.Addr)
-		if s.mech.llcEvictPersists() {
+		if s.mech.LLCEvictPersists() {
 			// NOP: stamps follow the data; they persist when the LLC
 			// evicts the line to NVM.
 			if len(l.Stamps) > 0 {
@@ -304,7 +304,7 @@ func (s *System) llcFillClean(line isa.Addr, t engine.Time) {
 	}
 	stamps := s.llcStamps[ev]
 	delete(s.llcStamps, ev)
-	if dirty && s.mech.llcEvictPersists() {
+	if dirty && s.mech.LLCEvictPersists() {
 		// Dirty LLC data reaches NVM when evicted (off the critical
 		// path of any core).
 		s.persistAddr(-1, ev, stamps, t, t, false)

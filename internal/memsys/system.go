@@ -7,6 +7,7 @@ import (
 	"lrp/internal/engine"
 	"lrp/internal/fault"
 	"lrp/internal/isa"
+	"lrp/internal/mech"
 	"lrp/internal/mm"
 	"lrp/internal/model"
 	"lrp/internal/nvm"
@@ -65,25 +66,11 @@ type thread struct {
 	// last recorder event; only maintained while a Recorder is attached.
 	recWork engine.Time
 
-	// Persistency mechanism state.
+	// Persistency bookkeeping shared by all mechanisms; mechanism-private
+	// state lives inside the mech.Mechanism implementations.
 	epochs  *persist.EpochCounter
 	ret     *persist.RET
 	pending engine.CompletionSet // outstanding persists (for drains)
-
-	// bbHorizon is BB's epoch-serialization horizon: the final ack time
-	// of the last closed epoch (own or inherited from a producer via a
-	// lazy inter-thread dependency). bbPrevHorizon is the ack horizon of
-	// the epoch before that: the hardware tracks a bounded number of
-	// unpersisted epochs, so closing a new epoch stalls until the
-	// epoch-before-last has fully acked (two epochs in flight).
-	bbHorizon     engine.Time
-	bbPrevHorizon engine.Time
-
-	// ARP state: the release flag and the per-thread persist buffer.
-	arpFlag   bool
-	arpBuffer []arpEntry
-	arpDrain  engine.Time // completion horizon of the last drained epoch
-	arpEpoch  uint32      // ARP epoch id (advances at flagged acquires)
 }
 
 // System is the assembled machine.
@@ -110,7 +97,11 @@ type System struct {
 	llcStamps map[isa.Addr][]model.Stamp
 
 	threads []*thread
-	mech    mechanism
+	mech    mech.Mechanism
+
+	// dirtyScratch backs scanDirty's per-core result slices, so barrier
+	// and epoch flushes do not allocate afresh on every scan.
+	dirtyScratch [][]*cache.Line
 
 	staticArena *mm.Arena
 
@@ -162,6 +153,7 @@ func New(cfg Config) (*System, error) {
 	}
 	s.l1s = make([]*cache.L1, cfg.Cores)
 	s.threads = make([]*thread, cfg.Cores)
+	s.dirtyScratch = make([][]*cache.Line, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		s.l1s[i] = cache.NewL1(cfg.L1Size, cfg.L1Ways)
 		s.threads[i] = &thread{
@@ -176,7 +168,7 @@ func New(cfg Config) (*System, error) {
 			s.threads[i].ret.SetObserver(i, s.obs)
 		}
 	}
-	s.mech = newMechanism(cfg.Mechanism, s)
+	s.mech = mech.New(cfg.Mechanism, (*sysView)(s))
 	return s, nil
 }
 
@@ -215,6 +207,32 @@ func (s *System) L1(i int) *cache.L1 { return s.l1s[i] }
 
 // LLC exposes the shared cache.
 func (s *System) LLC() *cache.LLC { return s.llc }
+
+// Mech exposes the active persistency mechanism.
+func (s *System) Mech() mech.Mechanism { return s.mech }
+
+// MechCrashCursor returns a fresh cursor over the mechanism's own durable
+// state, nil when the mechanism holds none (the NVM log is then the whole
+// story). A non-nil cursor owns the durable image: sweeps replay it into
+// an empty image instead of walking the NVM log.
+func (s *System) MechCrashCursor() mech.CrashCursor { return s.mech.NewCrashCursor() }
+
+// MechCrashInstants returns extra crash boundaries the mechanism asks the
+// sweep to probe: durability events it holds itself, invisible to the NVM
+// persist log.
+func (s *System) MechCrashInstants() []engine.Time { return s.mech.CrashInstants() }
+
+// CrashImageAt reconstructs the durable memory image at instant at: the
+// mechanism's own durable log replayed up to at when the mechanism holds
+// one (eADR), the NVM persist log replayed up to at otherwise.
+func (s *System) CrashImageAt(at engine.Time) *mm.Memory {
+	if cur := s.mech.NewCrashCursor(); cur != nil {
+		img := mm.NewMemory()
+		cur.ApplyTo(img, at)
+		return img
+	}
+	return s.nvm.ImageAt(at, nil)
+}
 
 // Time returns the maximum thread clock: the run's execution time.
 func (s *System) Time() engine.Time {

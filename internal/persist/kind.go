@@ -4,9 +4,13 @@
 // algorithm that orders a scan's discovered cache lines (only-written
 // lines first, then released lines in epoch order — §5.2.2).
 //
-// The mechanisms themselves (NOP, SB, BB, ARP, LRP) are protocol glue and
-// live in package memsys next to the coherence protocol; they are
-// assembled from the primitives defined here.
+// The mechanisms themselves (NOP, SB, BB, ARP, LRP, …) are protocol glue
+// and live in package mech behind the Mechanism interface; they are
+// assembled from the primitives defined here. This file holds the Kind
+// registration table, the single source of truth for mechanism names:
+// parsing, CLI flag help, experiment column sets and replay matrices all
+// derive from it, so registering a mechanism is the only step that can
+// add a name.
 package persist
 
 import (
@@ -14,58 +18,126 @@ import (
 	"strings"
 )
 
-// Kind names a persistency enforcement approach (§6.2 comparison points).
+// Kind names a persistency enforcement approach (§6.2 comparison points
+// plus later registrants). Values are indexes into the registration
+// table; they are assigned in registration order, so the five canonical
+// kinds below keep their historical numeric values (NOP=0 … LRP=4) and
+// trace headers stay decodable.
 type Kind int
 
-const (
+// KindSpec describes one registered mechanism for presentation and
+// analysis purposes. The behavioral implementation registers separately
+// in package mech; keeping the flags here lets the experiment layer
+// choose table columns without importing any mechanism code.
+type KindSpec struct {
+	// Name is the canonical spelling, as parsed and printed.
+	Name string
+	// EnforcesRP marks mechanisms that guarantee the consistent-cut
+	// property required for null recovery.
+	EnforcesRP bool
+	// Headline marks the mechanisms the overhead figures foreground
+	// (Fig 6/8 and the size study compare these against NOP).
+	Headline bool
+	// Baseline marks the no-persistency reference point (NOP): it is
+	// the normalization denominator and is excluded from fault sweeps.
+	Baseline bool
+}
+
+var kinds []KindSpec
+
+// Register adds a mechanism to the kind table and returns its Kind.
+// Registration happens in package-level var initializers (this package's
+// five canonical kinds first, then package mech's additions), so the
+// table is complete before any main or test body runs. Duplicate names
+// panic: they would make ParseKind ambiguous.
+func Register(spec KindSpec) Kind {
+	if spec.Name == "" {
+		panic("persist: mechanism registered without a name")
+	}
+	for _, s := range kinds {
+		if s.Name == spec.Name {
+			panic(fmt.Sprintf("persist: mechanism %q registered twice", spec.Name))
+		}
+	}
+	kinds = append(kinds, spec)
+	return Kind(len(kinds) - 1)
+}
+
+// The five mechanisms of §6.2, registered in presentation order. Go
+// initializes these in declaration order, which fixes their numeric
+// values (and therefore the binary trace format's mechanism field).
+var (
 	// NOP is volatile execution: no persistency guarantees.
-	NOP Kind = iota
+	NOP = Register(KindSpec{Name: "NOP", Baseline: true})
 	// SB enforces RP with strict full barriers around every release.
-	SB
+	SB = Register(KindSpec{Name: "SB", EnforcesRP: true})
 	// BB enforces RP with the state-of-the-art buffered full barrier
 	// (epoch tags + proactive flushing; Joshi et al., MICRO'15).
-	BB
+	BB = Register(KindSpec{Name: "BB", EnforcesRP: true, Headline: true})
 	// ARP is the acquire-release persistency of Kolli et al. (ISCA'17):
 	// one-sided, persist-buffer-based — and, as the paper shows, too
 	// weak to recover a log-free data structure.
-	ARP
+	ARP = Register(KindSpec{Name: "ARP"})
 	// LRP is the paper's lazy release persistency mechanism.
-	LRP
+	LRP = Register(KindSpec{Name: "LRP", EnforcesRP: true, Headline: true})
 )
 
-// Kinds lists all mechanisms in presentation order.
-var Kinds = []Kind{NOP, SB, BB, ARP, LRP}
+// Kinds lists all registered mechanisms in registration order. The
+// returned slice is a copy; callers may reorder or filter it.
+func Kinds() []Kind {
+	out := make([]Kind, len(kinds))
+	for i := range kinds {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// KindNames lists all registered mechanism names in registration order.
+func KindNames() []string {
+	out := make([]string, len(kinds))
+	for i, s := range kinds {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Valid reports whether k is a registered mechanism.
+func (k Kind) Valid() bool { return k >= 0 && int(k) < len(kinds) }
+
+// Spec returns k's registration record (the zero KindSpec if invalid).
+func (k Kind) Spec() KindSpec {
+	if !k.Valid() {
+		return KindSpec{}
+	}
+	return kinds[k]
+}
 
 func (k Kind) String() string {
-	switch k {
-	case NOP:
-		return "NOP"
-	case SB:
-		return "SB"
-	case BB:
-		return "BB"
-	case ARP:
-		return "ARP"
-	case LRP:
-		return "LRP"
-	default:
+	if !k.Valid() {
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
+	return kinds[k].Name
 }
 
 // ParseKind converts a mechanism name (as printed by String) to a Kind.
+// The error lists every registered name, so CLI messages can never fall
+// out of sync with the registry.
 func ParseKind(s string) (Kind, error) {
-	valid := make([]string, len(Kinds))
-	for i, k := range Kinds {
-		if k.String() == s {
-			return k, nil
+	for i, spec := range kinds {
+		if spec.Name == s {
+			return Kind(i), nil
 		}
-		valid[i] = k.String()
 	}
 	return 0, fmt.Errorf("persist: unknown mechanism %q (valid: %s)",
-		s, strings.Join(valid, ", "))
+		s, strings.Join(KindNames(), ", "))
 }
 
 // EnforcesRP reports whether the mechanism guarantees the consistent-cut
 // property required for null recovery.
-func (k Kind) EnforcesRP() bool { return k == SB || k == BB || k == LRP }
+func (k Kind) EnforcesRP() bool { return k.Spec().EnforcesRP }
+
+// Headline reports whether the overhead figures foreground the mechanism.
+func (k Kind) Headline() bool { return k.Spec().Headline }
+
+// Baseline reports whether the mechanism is the no-persistency reference.
+func (k Kind) Baseline() bool { return k.Spec().Baseline }

@@ -218,7 +218,7 @@ func parseHeader(p []byte) (Header, error) {
 	}
 	c := &h.Config
 	h.Mechanism = persist.Kind(fields[0])
-	if h.Mechanism < persist.NOP || h.Mechanism > persist.LRP {
+	if !h.Mechanism.Valid() {
 		return h, fmt.Errorf("trace: bad mechanism %d in header", fields[0])
 	}
 	c.Mechanism = h.Mechanism

@@ -95,7 +95,7 @@ func TestHeaderCapturesConfig(t *testing.T) {
 // (every counter), and re-recording the replay yields an identical op
 // stream.
 func TestRecordReplaySameMechanism(t *testing.T) {
-	for _, k := range persist.Kinds {
+	for _, k := range persist.Kinds() {
 		k := k
 		t.Run(k.String(), func(t *testing.T) {
 			t.Parallel()
@@ -143,7 +143,7 @@ func TestRecordReplaySameMechanism(t *testing.T) {
 func TestCrossMechanismReplay(t *testing.T) {
 	raw, _, sum := record(t, persist.NOP, "queue")
 	times := map[persist.Kind]int64{}
-	for _, k := range persist.Kinds {
+	for _, k := range persist.Kinds() {
 		cfg := testConfig(k)
 		var re bytes.Buffer
 		w2, err := NewWriter(&re, HeaderFor(cfg, testSpec("queue")))

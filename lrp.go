@@ -1,8 +1,9 @@
 // Package lrp is a simulation-backed reproduction of "Lazy Release
 // Persistency" (Dananjaya, Gavrielatos, Joshi, Nagarajan — ASPLOS 2020):
 // a complete simulated multicore with private L1 caches, a banked NUCA
-// LLC with a full-map MESI directory, and PCM-like NVM, on which five
-// persistency enforcement mechanisms (NOP, SB, BB, ARP, LRP) run five
+// LLC with a full-map MESI directory, and PCM-like NVM, on which a
+// registry of persistency enforcement mechanisms (the paper's NOP, SB,
+// BB, ARP, LRP plus the eADR and FliT-SB extensions) runs five
 // log-free data structures (Harris linked list, Michael hash map,
 // lock-free external BST, lock-free skip list, Michael–Scott queue).
 //
@@ -26,6 +27,7 @@ import (
 	"lrp/internal/engine"
 	"lrp/internal/isa"
 	"lrp/internal/lfds"
+	"lrp/internal/mech"
 	"lrp/internal/memsys"
 	"lrp/internal/mm"
 	"lrp/internal/model"
@@ -80,17 +82,52 @@ const (
 	AcqRel  = isa.AcqRel
 )
 
-// The five mechanisms of §6.2.
-const (
+// The registered mechanisms: the five of §6.2 plus the extensions
+// package mech contributes (eADR, FliT-SB). The set and its order come
+// from the persist registry — adding a mechanism there adds it here.
+var (
 	NOP = persist.NOP
 	SB  = persist.SB
 	BB  = persist.BB
 	ARP = persist.ARP
 	LRP = persist.LRP
+
+	EADR   = mech.EADR
+	FliTSB = mech.FliTSB
 )
 
-// Mechanisms lists all mechanisms in presentation order.
-var Mechanisms = persist.Kinds
+// Mechanisms lists all registered mechanisms in registration
+// (presentation) order.
+func Mechanisms() []Mechanism { return persist.Kinds() }
+
+// MechanismNames lists the registered mechanism names, parseable by
+// ParseMechanism, in the same order as Mechanisms.
+func MechanismNames() []string { return persist.KindNames() }
+
+// MechanismInfo describes one registered mechanism for listings.
+type MechanismInfo struct {
+	Kind    Mechanism
+	Name    string
+	Summary string
+	// EnforcesRP reports whether the mechanism guarantees release
+	// persistency (NOP and ARP do not).
+	EnforcesRP bool
+}
+
+// MechanismTable lists every registered mechanism with its one-line
+// summary, in presentation order (drives CLI listings and doc tables).
+func MechanismTable() []MechanismInfo {
+	var out []MechanismInfo
+	for _, in := range mech.All() {
+		out = append(out, MechanismInfo{
+			Kind:       in.Kind,
+			Name:       in.Kind.String(),
+			Summary:    in.Summary,
+			EnforcesRP: in.Kind.EnforcesRP(),
+		})
+	}
+	return out
+}
 
 // Structures lists the five workloads in the paper's order.
 var Structures = workload.Structures
@@ -99,7 +136,8 @@ var Structures = workload.Structures
 // NUCA LLC, PCM at 120/350 cycles, 32-entry RET).
 func DefaultConfig() Config { return memsys.DefaultConfig() }
 
-// ParseMechanism converts "NOP"/"SB"/"BB"/"ARP"/"LRP" to a Mechanism.
+// ParseMechanism converts a registered mechanism name (see
+// MechanismNames: "NOP", "SB", …, "eADR", "FliT-SB") to a Mechanism.
 func ParseMechanism(s string) (Mechanism, error) { return persist.ParseKind(s) }
 
 // NewMachine builds a simulated machine. Set cfg.TrackHB to enable crash

@@ -179,7 +179,13 @@ func TestFig6Tiny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 5 || len(tab.Header) != 3 {
+	cols := 1 // workload + one column per headline mechanism
+	for _, k := range Mechanisms() {
+		if k.Headline() {
+			cols++
+		}
+	}
+	if len(tab.Rows) != 5 || len(tab.Header) != cols {
 		t.Fatalf("shape: %+v", tab.Header)
 	}
 }
@@ -233,7 +239,30 @@ func TestTable1(t *testing.T) {
 }
 
 func TestMechanismList(t *testing.T) {
-	if len(Mechanisms) != 5 || len(Structures) != 5 {
-		t.Fatal("lists")
+	ks := Mechanisms()
+	if len(Structures) != 5 {
+		t.Fatal("structures")
+	}
+	// The paper's five in registration order, then the extensions.
+	want := []Mechanism{NOP, SB, BB, ARP, LRP, EADR, FliTSB}
+	if len(ks) != len(want) {
+		t.Fatalf("mechanisms: got %v", ks)
+	}
+	for i, k := range want {
+		if ks[i] != k {
+			t.Fatalf("mechanism %d: got %v want %v", i, ks[i], k)
+		}
+	}
+	for _, k := range ks {
+		got, err := ParseMechanism(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseMechanism(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if names := MechanismNames(); len(names) != len(ks) || names[5] != "eADR" || names[6] != "FliT-SB" {
+		t.Fatalf("names: %v", MechanismNames())
+	}
+	if rows := MechanismTable(); len(rows) != len(ks) || rows[4].Summary == "" {
+		t.Fatalf("table: %v", rows)
 	}
 }

@@ -58,8 +58,8 @@ func FormatHistogram(title string, s obs.HistSnapshot) string {
 	return stats.FormatHistogram(title, histBars(s), 40)
 }
 
-// MetricsReport runs every workload under SB, BB and LRP with a metrics
-// Observer attached and renders the per-mechanism machine counters the
+// MetricsReport runs every workload under each RP-enforcing mechanism
+// with a metrics Observer attached and renders the machine counters the
 // registry collected: persist counts and latency quantiles, critical-path
 // share, stall cycles per operation, persist-engine scan lengths, and RET
 // pressure. The histogram section shows the merged LRP persist-latency
@@ -72,7 +72,7 @@ func MetricsReport(o ExperimentOpts) (string, error) {
 		"stall cyc/op", "scans", "ret drains", "p99 occ")
 	var lrpLat, lrpOcc, lrpRes obs.HistSnapshot
 	for _, structure := range Structures {
-		for _, k := range []Mechanism{SB, BB, LRP} {
+		for _, k := range o.rpKinds()[1:] {
 			cfg := o.config(k, false)
 			cfg.Obs = NewObserver(cfg, false, 0)
 			res, m, err := RunWorkload(cfg, o.spec(structure))
@@ -130,16 +130,21 @@ func MetricsReport(o ExperimentOpts) (string, error) {
 	return b.String(), nil
 }
 
-// FaultReport runs every workload under SB, BB, ARP and LRP with the full
-// fault-injection plane enabled (torn lines, transient NVM faults with
-// retry/backoff, persist-engine stalls — see FAULTS.md), crashes at every
-// persist-completion boundary, and tabulates both the fault machinery's
-// work and the verdict: for the RP mechanisms every boundary must be a
-// consistent cut with a clean hardened recovery; ARP's counts show the
-// paper's §3 gap surviving into the fault model.
+// FaultReport runs every workload under every non-baseline mechanism with
+// the full fault-injection plane enabled (torn lines, transient NVM
+// faults with retry/backoff, persist-engine stalls — see FAULTS.md),
+// crashes at every durable-state boundary, and tabulates both the fault
+// machinery's work and the verdict: for the RP-enforcing mechanisms every
+// boundary must be a consistent cut with a clean hardened recovery; ARP's
+// counts show the paper's §3 gap surviving into the fault model.
 func FaultReport(o ExperimentOpts) (*Table, error) {
 	o = o.withDefaults()
-	ks := []Mechanism{SB, BB, ARP, LRP}
+	var ks []Mechanism
+	for _, k := range Mechanisms() {
+		if !k.Baseline() && o.wants(k) {
+			ks = append(ks, k)
+		}
+	}
 	type faultCell struct {
 		structure string
 		mech      Mechanism

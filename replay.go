@@ -61,15 +61,15 @@ func DiffTraces(a, b io.Reader) error {
 // ReplayComparison is the replay-backed mechanism comparison: each
 // workload is recorded once under NOP (volatile timing cannot feed a
 // persistency mechanism's stalls back into the op order), then that one
-// trace replays under all five mechanisms. Unlike Fig5 — where each
-// mechanism re-executes the workload and the interleaving re-forms under
-// its own timing — every column of a row here measures the identical op
-// stream, which is how the paper's simulator (PRiME + Pin traces)
-// produced its figures. Each replay is re-recorded and its op-stream
-// checksum asserted against the source trace.
+// trace replays under every registered mechanism. Unlike Fig5 — where
+// each mechanism re-executes the workload and the interleaving re-forms
+// under its own timing — every column of a row here measures the
+// identical op stream, which is how the paper's simulator (PRiME + Pin
+// traces) produced its figures. Each replay is re-recorded and its
+// op-stream checksum asserted against the source trace.
 func ReplayComparison(o ExperimentOpts) (*Table, error) {
 	o = o.withDefaults()
-	ks := Mechanisms
+	ks := o.replayKinds()
 
 	// Record every structure once, in parallel: the traces are the row
 	// inputs, held in memory (a few MB at experiment scale).
@@ -129,7 +129,7 @@ func ReplayComparison(o ExperimentOpts) (*Table, error) {
 		})
 
 	t := stats.NewTable("Replay comparison: one NOP trace per workload, replayed under every mechanism",
-		"workload", "trace ops", "checksum", "SB", "BB", "ARP", "LRP")
+		append([]string{"workload", "trace ops", "checksum"}, kindNames(ks[1:])...)...)
 	for si, structure := range Structures {
 		row := reps[si*len(ks) : (si+1)*len(ks)]
 		ok := true

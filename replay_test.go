@@ -80,7 +80,7 @@ func TestGoldenCorpusCrossMechanism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, k := range Mechanisms {
+		for _, k := range Mechanisms() {
 			var re bytes.Buffer
 			in, err := trace.NewReader(bytes.NewReader(raw))
 			if err != nil {
@@ -132,7 +132,7 @@ func TestGoldenTraceReplayDeterministic(t *testing.T) {
 	}
 	var cells []cell
 	for _, p := range paths {
-		for _, k := range Mechanisms {
+		for _, k := range Mechanisms() {
 			cells = append(cells, cell{p, k})
 		}
 	}
