@@ -17,6 +17,8 @@ package lrp
 import (
 	"fmt"
 	"testing"
+
+	"lrp/internal/perf"
 )
 
 // benchSizes mirror the experiment defaults at quarter scale.
@@ -256,13 +258,18 @@ func BenchmarkObserverTrace(b *testing.B) {
 // TestObserverTimingNeutral pins the observability contract stated in
 // internal/obs: attaching an Observer reads virtual time but never
 // advances it, so the simulated run is bit-identical with and without
-// one — same execution time, same machine counters.
+// one — same execution time, same machine counters. The same contract
+// covers the host-side phase profiler (internal/perf): its regions read
+// host clocks only, so a profiled run is also bit-identical.
 func TestObserverTimingNeutral(t *testing.T) {
-	run := func(mk func(Config) *Observer) *Result {
+	run := func(mk func(Config) *Observer, prof bool) *Result {
 		cfg := DefaultConfig().WithMechanism(LRP)
 		cfg.Cores = 8
 		if mk != nil {
 			cfg.Obs = mk(cfg)
+		}
+		if prof {
+			cfg.Perf = perf.New(perf.Options{})
 		}
 		res, _, err := RunWorkload(cfg, Spec{
 			Structure: "hashmap", Threads: 8,
@@ -273,10 +280,14 @@ func TestObserverTimingNeutral(t *testing.T) {
 		}
 		return res
 	}
-	bare := run(nil)
-	metrics := run(func(cfg Config) *Observer { return NewObserver(cfg, false, 0) })
-	traced := run(func(cfg Config) *Observer { return NewObserver(cfg, true, 0) })
-	for name, got := range map[string]*Result{"metrics": metrics, "trace": traced} {
+	bare := run(nil, false)
+	metrics := run(func(cfg Config) *Observer { return NewObserver(cfg, false, 0) }, false)
+	traced := run(func(cfg Config) *Observer { return NewObserver(cfg, true, 0) }, false)
+	profiled := run(nil, true)
+	both := run(func(cfg Config) *Observer { return NewObserver(cfg, false, 0) }, true)
+	for name, got := range map[string]*Result{
+		"metrics": metrics, "trace": traced, "perf": profiled, "perf+metrics": both,
+	} {
 		if got.ExecTime != bare.ExecTime {
 			t.Errorf("%s observer changed simulated time: %d != %d", name, got.ExecTime, bare.ExecTime)
 		}

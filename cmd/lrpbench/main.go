@@ -1,0 +1,206 @@
+// Command lrpbench measures the simulator's host-side performance and
+// gates regressions against a committed baseline.
+//
+// Run the benchmark grid (workload × mechanism × threads at pinned seeds
+// and scales) and write a schema-versioned BENCH_*.json:
+//
+//	lrpbench -out BENCH_0.json
+//	lrpbench -short -reps 3 -out bench_pr.json     # per-PR smoke grid
+//
+// Each cell runs the identical simulation -reps times (the seed pins the
+// simulated work, so reps differ only in host speed) and records
+// median/MAD summaries of ns/simulated-op, simulated-ops/sec, B/op and
+// allocs/op, plus the per-phase host-time breakdown from the phase
+// profiler and an environment fingerprint (go version, GOMAXPROCS, CPU
+// model). See OBSERVABILITY.md for the BENCH trajectory workflow.
+//
+// Compare two bench files with noise-aware thresholds:
+//
+//	lrpbench -compare old.json new.json [-threshold 0.10] [-noise-mult 3]
+//
+// A metric regresses only when its delta exceeds max(threshold,
+// noise-mult × combined MAD / old median); the exit status is 1 on any
+// regression unless -warn-only. A -short run compares against a full
+// baseline on the intersection of cells.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"lrp"
+	"lrp/internal/perf"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write the bench file to PATH")
+		jsonOut   = flag.Bool("json", false, "print machine-readable JSON to stdout instead of the summary table")
+		short     = flag.Bool("short", false, "run the reduced per-PR smoke grid (a strict subset of the full grid's cells)")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all five; -short: linkedlist,hashmap)")
+		mechs     = flag.String("mechs", "", "comma-separated mechanism subset: "+strings.Join(lrp.MechanismNames(), "|"))
+		threads   = flag.String("threads", "", "comma-separated worker counts (default: 8)")
+		ops       = flag.Int("ops", 60, "operations per thread in the measured window")
+		reps      = flag.Int("reps", 5, "repetitions per cell (median/MAD noise control)")
+		seed      = flag.Uint64("seed", 7, "deterministic seed pinning every cell's simulated work")
+		phases    = flag.Bool("phases", true, "record the per-phase host-time breakdown per cell")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on ADDR while the grid runs")
+		compare   = flag.Bool("compare", false, "compare two bench files: lrpbench -compare OLD NEW")
+		threshold = flag.Float64("threshold", 0.10, "with -compare: minimum relative delta that can count as a regression")
+		noiseMult = flag.Float64("noise-mult", 3, "with -compare: noise floor multiplier over the files' combined MAD")
+		warnOnly  = flag.Bool("warn-only", false, "with -compare: report regressions but exit 0")
+	)
+	flag.Parse()
+
+	if *compare {
+		files := compareOperands()
+		if len(files) != 2 {
+			fmt.Fprintln(os.Stderr, "lrpbench: -compare needs exactly two files: lrpbench -compare OLD NEW")
+			os.Exit(2)
+		}
+		runCompare(files[0], files[1], perf.CompareOpts{
+			Threshold: *threshold,
+			NoiseMult: *noiseMult,
+		}, *jsonOut, *warnOnly)
+		return
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "lrpbench: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+
+	if *pprofAddr != "" {
+		// Bind synchronously so a bad or in-use address fails the run
+		// immediately instead of racing the benchmark.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fail(fmt.Errorf("pprof: %w", err))
+		}
+		go http.Serve(ln, nil)
+		fmt.Fprintf(os.Stderr, "lrpbench: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	}
+
+	o := lrp.BenchOpts{
+		Ops:    *ops,
+		Reps:   *reps,
+		Seed:   *seed,
+		Short:  *short,
+		Phases: *phases,
+		Progress: func(line string) {
+			fmt.Fprintln(os.Stderr, "lrpbench:", line)
+		},
+	}
+	if *workloads != "" {
+		o.Workloads = splitCSV(*workloads)
+	}
+	if *mechs != "" {
+		for _, name := range splitCSV(*mechs) {
+			k, err := lrp.ParseMechanism(name)
+			if err != nil {
+				fail(err)
+			}
+			o.Mechs = append(o.Mechs, k)
+		}
+	}
+	if *threads != "" {
+		for _, s := range splitCSV(*threads) {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				fail(fmt.Errorf("bad -threads %q: %w", s, err))
+			}
+			o.Threads = append(o.Threads, n)
+		}
+	}
+
+	f, err := lrp.RunBench(o)
+	if err != nil {
+		fail(err)
+	}
+	f.Stamp(time.Now())
+
+	if *out != "" {
+		if err := f.WriteFile(*out); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "lrpbench: wrote %s (%d cells)\n", *out, len(f.Cells))
+	}
+	if *jsonOut {
+		b, err := f.Marshal()
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(b)
+	} else {
+		fmt.Println(f.Table())
+	}
+}
+
+// compareOperands collects the two file operands of -compare while
+// honoring flags placed after them (`lrpbench -compare OLD NEW
+// -warn-only`): flag.Parse stops at the first positional argument, so
+// trailing flags must be re-parsed.
+func compareOperands() []string {
+	args := flag.Args()
+	var files []string
+	for len(args) > 0 {
+		if strings.HasPrefix(args[0], "-") {
+			flag.CommandLine.Parse(args) // ExitOnError: exits on a bad flag
+			args = flag.Args()
+			continue
+		}
+		files = append(files, args[0])
+		args = args[1:]
+	}
+	return files
+}
+
+func runCompare(oldPath, newPath string, opts perf.CompareOpts, jsonOut, warnOnly bool) {
+	oldFile, err := perf.ReadBenchFile(oldPath)
+	if err != nil {
+		fail(err)
+	}
+	newFile, err := perf.ReadBenchFile(newPath)
+	if err != nil {
+		fail(err)
+	}
+	rep := perf.Compare(oldFile, newFile, opts)
+	if jsonOut {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(append(b, '\n'))
+	} else {
+		fmt.Println(rep.Table())
+		if rep.OldEnv != rep.NewEnv {
+			fmt.Printf("note: environments differ\n  old: %s\n  new: %s\n", rep.OldEnv, rep.NewEnv)
+		}
+		fmt.Println(rep.Summary())
+	}
+	if !rep.Pass() && !warnOnly {
+		os.Exit(1)
+	}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lrpbench:", err)
+	os.Exit(1)
+}

@@ -26,6 +26,11 @@
 // Observability (works with all modes):
 //
 //	-metrics        print the metrics-registry report after the run
+//	-json           with -metrics: machine-readable registry export
+//	                (lrpmetrics/v1, deterministic key order) on stdout
+//	-perf           with -run: attach the host-side phase profiler and
+//	                print the per-phase host-time report (the host/*
+//	                gauges also land in the -metrics registry)
 //	-trace FILE     write a Chrome trace_event JSON (Perfetto-loadable)
 //	-pprof ADDR     serve net/http/pprof while the simulation runs
 package main
@@ -33,12 +38,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"lrp"
+	"lrp/internal/perf"
 )
 
 func main() {
@@ -57,17 +65,25 @@ func main() {
 		replayPath = flag.String("replay", "", "replay a recorded memory-op trace from FILE")
 		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to FILE")
 		metrics    = flag.Bool("metrics", false, "print the metrics-registry report")
+		jsonOut    = flag.Bool("json", false, "with -metrics: machine-readable registry export on stdout")
+		perfOn     = flag.Bool("perf", false, "with -run: attach the host-side phase profiler and print its report")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "lrpsim: pprof:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "lrpsim: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+		// Bind synchronously so a bad or in-use address fails the run
+		// immediately instead of racing the simulation (the old async
+		// ListenAndServe could lose the error entirely on short runs).
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fail(fmt.Errorf("pprof: %w", err))
+		}
+		go http.Serve(ln, nil)
+		fmt.Fprintf(os.Stderr, "lrpsim: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	}
+	if *jsonOut {
+		*metrics = true // -json is the machine-readable form of -metrics
 	}
 
 	opts := lrp.ExperimentOpts{
@@ -87,14 +103,17 @@ func main() {
 				mechSet = true
 			}
 		})
-		if err := replayTrace(*replayPath, *mechanism, mechSet, *metrics); err != nil {
+		if err := replayTrace(*replayPath, *mechanism, mechSet, *metrics, *jsonOut); err != nil {
 			fail(err)
 		}
 	case *run != "":
-		if err := runOne(*run, *mechanism, *threads, *ops, *size, *seed, *uncached, *tracePath, *recordPath, *metrics); err != nil {
+		if err := runOne(*run, *mechanism, *threads, *ops, *size, *seed, *uncached, *tracePath, *recordPath, *metrics, *jsonOut, *perfOn); err != nil {
 			fail(err)
 		}
 	case *experiment != "":
+		if *jsonOut {
+			fail(fmt.Errorf("-json exports one machine's registry; use it with -run or -replay"))
+		}
 		if err := runExperiment(*experiment, opts); err != nil {
 			fail(err)
 		}
@@ -185,7 +204,7 @@ func runExperiment(name string, opts lrp.ExperimentOpts) error {
 
 // replayTrace drives a fresh machine from a recorded trace (lrpsim's
 // one-shot form; cmd/lrptrace has the full record/replay toolchain).
-func replayTrace(path, mechName string, mechSet, metrics bool) error {
+func replayTrace(path, mechName string, mechSet, metrics, jsonOut bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -197,27 +216,48 @@ func replayTrace(path, mechName string, mechSet, metrics bool) error {
 			return err
 		}
 	}
+	if metrics {
+		// The Observer is sized from the trace's machine config, so the
+		// header must be decoded before the replay machine is built.
+		info, err := lrp.ReadTraceInfo(f)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		k := info.Header.Mechanism
+		if mechSet {
+			k = o.Mechanism
+		}
+		o.Obs = lrp.NewObserver(info.Header.MachineConfig(k), false, 0)
+	}
 	rp, err := lrp.ReplayTrace(f, o)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("replayed        %s under %s (recorded under %s)\n",
-		rp.Header.Spec.Structure, rp.Mechanism, rp.Header.Mechanism)
-	fmt.Printf("trace ops       %d (checksum %08x, verified)\n", rp.Ops, rp.Checksum)
-	if rp.Result != nil {
-		fmt.Printf("exec time       %v\n", rp.Result.ExecTime)
-		fmt.Printf("persists        %d (%.1f%% on the critical path)\n",
-			rp.Result.Sys.Persists, rp.Result.CriticalWritebackPct())
-		fmt.Printf("stall cycles    %d\n", rp.Result.Sys.StallCycles)
+	if !jsonOut {
+		fmt.Printf("replayed        %s under %s (recorded under %s)\n",
+			rp.Header.Spec.Structure, rp.Mechanism, rp.Header.Mechanism)
+		fmt.Printf("trace ops       %d (checksum %08x, verified)\n", rp.Ops, rp.Checksum)
+		if rp.Result != nil {
+			fmt.Printf("exec time       %v\n", rp.Result.ExecTime)
+			fmt.Printf("persists        %d (%.1f%% on the critical path)\n",
+				rp.Result.Sys.Persists, rp.Result.CriticalWritebackPct())
+			fmt.Printf("stall cycles    %d\n", rp.Result.Sys.StallCycles)
+		}
 	}
 	if metrics {
+		if jsonOut {
+			return lrp.WriteMetricsJSON(rp.Sys, os.Stdout)
+		}
 		fmt.Println()
 		fmt.Println(lrp.MetricsSummary(rp.Sys))
 	}
 	return nil
 }
 
-func runOne(structure, mechName string, threads, ops, size int, seed uint64, uncached bool, tracePath, recordPath string, metrics bool) error {
+func runOne(structure, mechName string, threads, ops, size int, seed uint64, uncached bool, tracePath, recordPath string, metrics, jsonOut, perfOn bool) error {
 	k, err := lrp.ParseMechanism(mechName)
 	if err != nil {
 		return err
@@ -235,6 +275,13 @@ func runOne(structure, mechName string, threads, ops, size int, seed uint64, unc
 	}
 	if metrics || tracePath != "" {
 		cfg.Obs = lrp.NewObserver(cfg, tracePath != "", 0)
+	}
+	var prof *perf.Profiler
+	if perfOn {
+		// Labels tag pprof samples with lrp_phase/lrp_mech so a -pprof
+		// profile taken during the run groups by simulator phase.
+		prof = perf.New(perf.Options{Labels: true, Mech: k.String()})
+		cfg.Perf = prof
 	}
 	spec := lrp.Spec{
 		Structure:    structure,
@@ -267,21 +314,40 @@ func runOne(structure, mechName string, threads, ops, size int, seed uint64, unc
 			return err
 		}
 	}
-	fmt.Printf("workload        %s\n", structure)
-	fmt.Printf("mechanism       %s\n", k)
-	fmt.Printf("threads         %d\n", threads)
-	fmt.Printf("size            %d\n", size)
-	fmt.Printf("exec time       %v\n", res.ExecTime)
-	fmt.Printf("operations      %d (%.1f cycles/op)\n", res.Ops, float64(res.ExecTime)*float64(threads)/float64(res.Ops))
-	fmt.Printf("memory ops      %d\n", res.Sys.Ops)
-	fmt.Printf("persists        %d (%.1f%% on the critical path)\n", res.Sys.Persists, res.CriticalWritebackPct())
-	fmt.Printf("writebacks      %d\n", res.Sys.Writebacks)
-	fmt.Printf("downgrades      %d (I2 blocks: %d)\n", res.Sys.Downgrades, res.Sys.I2Stalls)
-	fmt.Printf("stall cycles    %d\n", res.Sys.StallCycles)
-	fmt.Printf("NVM traffic     %d bytes persisted, %d line reads\n", res.NVM.BytesPersisted, res.NVM.Reads)
+	if prof != nil {
+		// Host-time gauges (host/<phase>_ns, host/<phase>_regions) join
+		// the registry so -metrics and -json carry the phase breakdown.
+		if reg := m.Observer().Registry(); reg != nil {
+			prof.PublishGauges(reg)
+		}
+	}
+	if !jsonOut {
+		fmt.Printf("workload        %s\n", structure)
+		fmt.Printf("mechanism       %s\n", k)
+		fmt.Printf("threads         %d\n", threads)
+		fmt.Printf("size            %d\n", size)
+		fmt.Printf("exec time       %v\n", res.ExecTime)
+		fmt.Printf("operations      %d (%.1f cycles/op)\n", res.Ops, float64(res.ExecTime)*float64(threads)/float64(res.Ops))
+		fmt.Printf("memory ops      %d\n", res.Sys.Ops)
+		fmt.Printf("persists        %d (%.1f%% on the critical path)\n", res.Sys.Persists, res.CriticalWritebackPct())
+		fmt.Printf("writebacks      %d\n", res.Sys.Writebacks)
+		fmt.Printf("downgrades      %d (I2 blocks: %d)\n", res.Sys.Downgrades, res.Sys.I2Stalls)
+		fmt.Printf("stall cycles    %d\n", res.Sys.StallCycles)
+		fmt.Printf("NVM traffic     %d bytes persisted, %d line reads\n", res.NVM.BytesPersisted, res.NVM.Reads)
+		if prof != nil {
+			fmt.Println()
+			fmt.Println(prof.Report())
+		}
+	}
 	if metrics {
-		fmt.Println()
-		fmt.Println(lrp.MetricsSummary(m))
+		if jsonOut {
+			if err := lrp.WriteMetricsJSON(m, os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			fmt.Println()
+			fmt.Println(lrp.MetricsSummary(m))
+		}
 	}
 	if tracePath != "" {
 		f, err := os.Create(tracePath)

@@ -11,6 +11,7 @@ import (
 	"lrp/internal/mm"
 	"lrp/internal/model"
 	"lrp/internal/nvm"
+	"lrp/internal/perf"
 	"lrp/internal/recovery"
 	"lrp/internal/workload"
 )
@@ -72,6 +73,10 @@ func Crash(m *Machine, at Time) (*CrashReport, error) {
 	if tr == nil {
 		return nil, fmt.Errorf("lrp: crash analysis requires Config.TrackHB")
 	}
+	if p := m.Perf(); p != nil {
+		p.Start(perf.PhaseCrash)
+		defer p.End()
+	}
 	persisted, total := tr.PersistedCount(at)
 	m.Observer().CrashSnapshot(at, persisted, total)
 	return &CrashReport{
@@ -90,6 +95,10 @@ func CrashRecover(m *Machine, rec Recoverable, at Time) (*CrashReport, error) {
 	rep, err := Crash(m, at)
 	if err != nil {
 		return nil, err
+	}
+	if p := m.Perf(); p != nil {
+		p.Start(perf.PhaseRecovery)
+		defer p.End()
 	}
 	rep.Recovery = rec.Recover(rep.Image)
 	m.Observer().RecoveryQuarantine(len(rep.Recovery.Quarantined))
@@ -256,6 +265,13 @@ func SweepCrashBoundariesParallel(m *Machine, rec Recoverable, workers int) (*Sw
 	tr := m.Tracker()
 	if tr == nil {
 		return nil, fmt.Errorf("lrp: crash analysis requires Config.TrackHB")
+	}
+	// The sweep's host time is attributed from the caller's goroutine as
+	// one crash-phase region (worker goroutines never touch the
+	// profiler's region stack; what they add is wall-clock overlap).
+	if p := m.Perf(); p != nil {
+		p.Start(perf.PhaseCrash)
+		defer p.End()
 	}
 	bounds := CrashBoundaries(m)
 	rep := &SweepReport{Boundaries: len(bounds)}

@@ -16,6 +16,7 @@ import (
 	"lrp/internal/mech"
 	"lrp/internal/nvm"
 	"lrp/internal/obs"
+	"lrp/internal/perf"
 	"lrp/internal/persist"
 )
 
@@ -96,6 +97,15 @@ type Config struct {
 	// writer) that captures every operation in global execution order.
 	// Nil disables recording; recording never changes simulated timing.
 	Rec Recorder
+
+	// Perf attaches the host-side phase profiler (package perf): scoped
+	// regions in the scheduler, protocol, mechanism, persist-engine, NVM
+	// and trace-I/O paths accumulate host wall time per phase. Nil
+	// disables profiling; each hook site then costs one predicted
+	// branch. Regions read host clocks only, never virtual time, so a
+	// profiled run is cycle-for-cycle identical to an unprofiled one. A
+	// Profiler must be attached to at most one machine at a time.
+	Perf *perf.Profiler
 }
 
 // DefaultConfig mirrors Table 1: 64 OoO cores at 2.5GHz, 32KB 8-way L1

@@ -5,6 +5,7 @@ import (
 
 	"lrp/internal/engine"
 	"lrp/internal/isa"
+	"lrp/internal/perf"
 )
 
 // Program is the body of one simulated hardware thread. It runs as a
@@ -140,8 +141,13 @@ func (s *System) Run(progs []Program) engine.Time {
 		}(i)
 		running[i] = true
 	}
-	// Scheduler loop: always grant the minimum-clock live thread.
+	// Scheduler loop: always grant the minimum-clock live thread. The
+	// perf region covers only the pick-next bookkeeping — the granted
+	// thread's own work is attributed by the regions inside perform.
 	for {
+		if s.perf != nil {
+			s.perf.Start(perf.PhaseScheduler)
+		}
 		best := -1
 		var bestClock engine.Time
 		for i := 0; i < n; i++ {
@@ -152,6 +158,9 @@ func (s *System) Run(progs []Program) engine.Time {
 				best = i
 				bestClock = s.threads[i].clock
 			}
+		}
+		if s.perf != nil {
+			s.perf.End()
 		}
 		if best == -1 {
 			break

@@ -6,6 +6,7 @@ import (
 	"lrp/internal/isa"
 	"lrp/internal/mech"
 	"lrp/internal/model"
+	"lrp/internal/perf"
 	"lrp/internal/persist"
 )
 
@@ -19,9 +20,9 @@ type sysView System
 
 func (v *sysView) sys() *System { return (*System)(v) }
 
-func (v *sysView) Cores() int               { return v.cfg.Cores }
-func (v *sysView) MaxPendingPersists() int  { return v.cfg.MaxPendingPersists }
-func (v *sysView) ARPBufferCap() int        { return v.cfg.ARPBufferCap }
+func (v *sysView) Cores() int              { return v.cfg.Cores }
+func (v *sysView) MaxPendingPersists() int { return v.cfg.MaxPendingPersists }
+func (v *sysView) ARPBufferCap() int       { return v.cfg.ARPBufferCap }
 
 func (v *sysView) Epochs(tid int) *persist.EpochCounter { return v.threads[tid].epochs }
 func (v *sysView) RET(tid int) *persist.RET             { return v.threads[tid].ret }
@@ -108,6 +109,10 @@ var _ mech.SystemView = (*sysView)(nil)
 // The returned slice is backed by a per-core scratch buffer and is valid
 // only until the next scanDirty or flushAllDirty call for the same tid.
 func (s *System) scanDirty(tid int) []*cache.Line {
+	if s.perf != nil {
+		s.perf.Start(perf.PhaseEngineScan)
+		defer s.perf.End()
+	}
 	out := s.dirtyScratch[tid][:0]
 	s.l1s[tid].Scan(func(l *cache.Line) {
 		if l.NeedsPersist() {
@@ -123,6 +128,10 @@ func (s *System) scanDirty(tid int) []*cache.Line {
 // returned time is the final ack. Used by full barriers, epoch-overflow
 // flushes and clean-shutdown drains.
 func (s *System) flushAllDirty(tid int, now engine.Time, critical bool) engine.Time {
+	if s.perf != nil {
+		s.perf.Start(perf.PhaseEngineScan)
+		defer s.perf.End()
+	}
 	th := s.threads[tid]
 	now = s.faultStall(tid, now)
 	dirty := s.scanDirty(tid)

@@ -6,6 +6,7 @@ import (
 	"lrp/internal/isa"
 	"lrp/internal/model"
 	"lrp/internal/obs"
+	"lrp/internal/perf"
 )
 
 // read executes a load by thread tid and returns the value read.
@@ -214,7 +215,13 @@ func (s *System) fetch(tid int, line isa.Addr, exclusive bool, t engine.Time) en
 	}
 
 	if !llcHit && !dataFromOwner {
+		if s.perf != nil {
+			s.perf.Start(perf.PhaseNVM)
+		}
 		t = s.nvm.ReadLine(t, line)
+		if s.perf != nil {
+			s.perf.End()
+		}
 	}
 	if !llcHit {
 		s.llcFillClean(line, t)

@@ -5,6 +5,7 @@ import (
 
 	"lrp/internal/engine"
 	"lrp/internal/isa"
+	"lrp/internal/perf"
 )
 
 // Recorder receives the machine's memory-operation stream at the points
@@ -47,6 +48,9 @@ const (
 // trace replay via Step — funnels through here, so a recorded stream is
 // complete whatever frontend drove the machine.
 func (s *System) perform(tid int, op isa.Op) (uint64, bool) {
+	if s.perf != nil {
+		s.perf.Start(perf.PhaseProtocol)
+	}
 	var v uint64
 	ok := true
 	switch op.Kind {
@@ -62,10 +66,19 @@ func (s *System) perform(tid int, op isa.Op) (uint64, bool) {
 		panic(fmt.Sprintf("memsys: bad op %v", op))
 	}
 	if s.rec != nil {
+		if s.perf != nil {
+			s.perf.Start(perf.PhaseTraceIO)
+		}
 		th := s.threads[tid]
 		w := th.recWork
 		th.recWork = 0
 		s.rec.RecordOp(tid, w, op, v, ok)
+		if s.perf != nil {
+			s.perf.End()
+		}
+	}
+	if s.perf != nil {
+		s.perf.End()
 	}
 	return v, ok
 }
@@ -124,6 +137,10 @@ func (s *System) FlushRecorder() { s.flushRecWork() }
 func (s *System) flushRecWork() {
 	if s.rec == nil {
 		return
+	}
+	if s.perf != nil {
+		s.perf.Start(perf.PhaseTraceIO)
+		defer s.perf.End()
 	}
 	for _, th := range s.threads {
 		if th.recWork > 0 {

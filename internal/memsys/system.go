@@ -12,6 +12,7 @@ import (
 	"lrp/internal/model"
 	"lrp/internal/nvm"
 	"lrp/internal/obs"
+	"lrp/internal/perf"
 	"lrp/internal/persist"
 	"lrp/internal/stats"
 )
@@ -117,6 +118,10 @@ type System struct {
 	// rec receives the memory-op stream at perform points; nil when the
 	// machine is not being recorded.
 	rec Recorder
+
+	// perf is the host-side phase profiler; nil when disabled. Hot
+	// paths guard on the nil so a dark machine pays one branch per site.
+	perf *perf.Profiler
 }
 
 // New builds a machine from the configuration.
@@ -138,6 +143,7 @@ func New(cfg Config) (*System, error) {
 		staticArena: mm.StaticArena(),
 		obs:         cfg.Obs,
 		rec:         cfg.Rec,
+		perf:        cfg.Perf,
 	}
 	if cfg.TrackHB {
 		s.tracker = model.NewTracker(cfg.Cores)
@@ -169,6 +175,12 @@ func New(cfg Config) (*System, error) {
 		}
 	}
 	s.mech = mech.New(cfg.Mechanism, (*sysView)(s))
+	if s.perf != nil {
+		// Host-time attribution of the mechanism hooks: every dispatch
+		// goes through the profiling decorator, so the machine's call
+		// sites stay mechanism- and profiler-agnostic.
+		s.mech = profiledMech{m: s.mech, p: s.perf}
+	}
 	return s, nil
 }
 
@@ -198,6 +210,9 @@ func (s *System) Stats() Stats { return s.stats }
 
 // Observer returns the attached observability layer (nil when disabled).
 func (s *System) Observer() *obs.Observer { return s.obs }
+
+// Perf returns the attached host-side phase profiler (nil when disabled).
+func (s *System) Perf() *perf.Profiler { return s.perf }
 
 // Faults returns the fault-injection plane (nil on the idealized machine).
 func (s *System) Faults() *fault.Plane { return s.faults }
@@ -284,7 +299,13 @@ func (s *System) netLat(core, bank int) engine.Time {
 // accounting.
 func (s *System) persistL1Line(tid int, l *cache.Line, now, earliest engine.Time, critical bool) engine.Time {
 	words := s.mem.ReadLine(l.Addr)
+	if s.perf != nil {
+		s.perf.Start(perf.PhaseNVM)
+	}
 	done := s.nvm.PersistLine(now, earliest, l.Addr, words)
+	if s.perf != nil {
+		s.perf.End()
+	}
 	if dbgLine != 0 && l.Addr == dbgLine {
 		fmt.Printf("DBG persistL1Line addr=%v now=%v earliest=%v done=%v stamps=%v rel=%v minEpoch=%d\n", l.Addr, now, earliest, done, l.Stamps, l.Release, l.MinEpoch)
 	}
@@ -317,7 +338,13 @@ func (s *System) persistL1Line(tid int, l *cache.Line, now, earliest engine.Time
 // behalf of thread tid (-1: no specific core, e.g. an LLC eviction).
 func (s *System) persistAddr(tid int, addr isa.Addr, stamps []model.Stamp, now, earliest engine.Time, critical bool) engine.Time {
 	words := s.mem.ReadLine(addr)
+	if s.perf != nil {
+		s.perf.Start(perf.PhaseNVM)
+	}
 	done := s.nvm.PersistLine(now, earliest, addr, words)
+	if s.perf != nil {
+		s.perf.End()
+	}
 	if s.tracker != nil {
 		for _, st := range stamps {
 			s.tracker.SetPersisted(st, done)

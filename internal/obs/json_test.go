@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRegistryJSONDeterministic pins the -json export contract: the same
+// registry state always serializes to the same bytes, metrics sorted by
+// name, with the schema tag first.
+func TestRegistryJSONDeterministic(t *testing.T) {
+	mk := func() *Registry {
+		r := NewRegistry()
+		// Register in non-sorted order; the export must sort.
+		r.Counter("persist/issued/core01").Add(7)
+		r.Counter("persist/issued/core00").Add(3)
+		r.Gauge("host/protocol_ns").Set(123456)
+		h := r.Histogram("persist/latency/core00")
+		h.Observe(0)
+		h.Observe(120)
+		h.Observe(130)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := mk().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("export not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+
+	var doc MetricsJSON
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != MetricsSchema {
+		t.Fatalf("schema = %q, want %q", doc.Schema, MetricsSchema)
+	}
+	names := make([]string, len(doc.Metrics))
+	for i, m := range doc.Metrics {
+		names[i] = m.Name
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("metrics not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+	if !strings.HasPrefix(a.String(), "{\n  \"schema\": \"lrpmetrics/v1\"") {
+		t.Fatalf("schema tag must lead the document:\n%s", a.String()[:60])
+	}
+}
+
+// TestRegistryJSONContent checks each kind's exported shape, including
+// histogram bucket bounds (only nonzero buckets, self-describing ranges).
+func TestRegistryJSONContent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(42)
+	r.Gauge("g").Set(-5)
+	h := r.Histogram("h")
+	h.Observe(0) // bucket 0: [0,1)
+	h.Observe(5) // bucket 3: [4,8)
+	h.Observe(5)
+
+	doc := r.Export()
+	byName := map[string]MetricJSON{}
+	for _, m := range doc.Metrics {
+		byName[m.Name] = m
+	}
+	if m := byName["c"]; m.Kind != "counter" || m.Value != 42 || m.Hist != nil {
+		t.Fatalf("counter export = %+v", m)
+	}
+	if m := byName["g"]; m.Kind != "gauge" || m.Value != -5 {
+		t.Fatalf("gauge export = %+v", m)
+	}
+	m := byName["h"]
+	if m.Kind != "histogram" || m.Value != 3 || m.Hist == nil {
+		t.Fatalf("histogram export = %+v", m)
+	}
+	if m.Hist.Count != 3 || m.Hist.Sum != 10 {
+		t.Fatalf("hist count/sum = %d/%d", m.Hist.Count, m.Hist.Sum)
+	}
+	want := []BucketJSON{{Low: 0, High: 1, Count: 1}, {Low: 4, High: 8, Count: 2}}
+	if len(m.Hist.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", m.Hist.Buckets, want)
+	}
+	for i, b := range m.Hist.Buckets {
+		if b != want[i] {
+			t.Fatalf("bucket[%d] = %+v, want %+v", i, b, want[i])
+		}
+	}
+}

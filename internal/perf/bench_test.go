@@ -1,0 +1,235 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleFile() *BenchFile {
+	return &BenchFile{
+		Schema: BenchSchema,
+		Env:    EnvInfo{GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 8, NumCPU: 8, CPUModel: "Test CPU"},
+		Grid: GridInfo{
+			Workloads: []string{"hashmap"}, Mechs: []string{"LRP"},
+			Threads: []int{8}, Ops: 60, Reps: 5, Seed: 7,
+		},
+		Cells: []BenchCell{{
+			Workload: "hashmap", Mechanism: "LRP", Threads: 8, Size: 4096,
+			SimOps: 34557, SimCycles: 1200000,
+			Metrics: map[string]Dist{
+				MetricNsPerOp:      NewDist([]float64{1800, 1825, 1810, 1850, 1820}),
+				MetricBytesPerOp:   NewDist([]float64{360, 362, 361, 365, 362}),
+				MetricAllocsPerOp:  NewDist([]float64{2.8, 2.8, 2.8, 2.9, 2.8}),
+				MetricSimopsPerSec: NewDist([]float64{550000, 548000, 552000, 540000, 549000}),
+			},
+			PhaseNs: map[string]int64{"protocol": 2400000, "mechanism": 3600000},
+		}},
+	}
+}
+
+// TestBenchRoundTrip pins the schema: marshal → unmarshal → marshal must
+// be byte-identical (deterministic field and key order), and the loaded
+// file must validate.
+func TestBenchRoundTrip(t *testing.T) {
+	f := sampleFile()
+	b1, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g BenchFile
+	if err := json.Unmarshal(b1, &g); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := g.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("round trip not byte-identical:\n--- first\n%s\n--- second\n%s", b1, b2)
+	}
+}
+
+func TestBenchFileIO(t *testing.T) {
+	f := sampleFile()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cells[0].Key() != "hashmap/LRP/t8" {
+		t.Fatalf("cell key = %q", g.Cells[0].Key())
+	}
+	if g.Cells[0].Metrics[MetricNsPerOp].Median != 1820 {
+		t.Fatalf("median = %v, want 1820", g.Cells[0].Metrics[MetricNsPerOp].Median)
+	}
+}
+
+func TestBenchValidate(t *testing.T) {
+	f := sampleFile()
+	f.Schema = "lrpbench/v0"
+	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong-schema error = %v", err)
+	}
+	f = sampleFile()
+	f.Cells = append(f.Cells, f.Cells[0])
+	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate-cell error = %v", err)
+	}
+	f = sampleFile()
+	f.Cells[0].SimOps = 0
+	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "zero simulated ops") {
+		t.Fatalf("zero-ops error = %v", err)
+	}
+}
+
+func TestDist(t *testing.T) {
+	d := NewDist([]float64{10, 12, 11, 100, 9})
+	if d.Median != 11 {
+		t.Fatalf("median = %v, want 11 (outlier must not move it)", d.Median)
+	}
+	if d.MAD != 1 {
+		t.Fatalf("MAD = %v, want 1", d.MAD)
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median should be 0")
+	}
+	if m := Median([]float64{4, 2}); m != 3 {
+		t.Fatalf("even median = %v, want 3", m)
+	}
+}
+
+// mkCell builds a cell with the given ns/op samples (other metrics fixed).
+func mkCell(name string, simOps uint64, ns []float64) BenchCell {
+	return BenchCell{
+		Workload: name, Mechanism: "LRP", Threads: 8,
+		SimOps: simOps, SimCycles: int64(simOps) * 30,
+		Metrics: map[string]Dist{
+			MetricNsPerOp:     NewDist(ns),
+			MetricBytesPerOp:  NewDist([]float64{100, 100, 100}),
+			MetricAllocsPerOp: NewDist([]float64{1, 1, 1}),
+		},
+	}
+}
+
+func fileWith(cells ...BenchCell) *BenchFile {
+	return &BenchFile{Schema: BenchSchema, Cells: cells}
+}
+
+// TestCompareVerdicts exercises every verdict: a clear regression, a
+// clear improvement, a noise-tolerated delta (movement inside the scaled
+// MAD floor), drift exclusion, and missing/added cell accounting.
+func TestCompareVerdicts(t *testing.T) {
+	old := fileWith(
+		mkCell("regressed", 1000, []float64{1000, 1000, 1000}),
+		mkCell("improved", 1000, []float64{1000, 1000, 1000}),
+		mkCell("noisy", 1000, []float64{900, 1000, 1100}), // MAD 100 → floor 60%
+		mkCell("drifted", 1000, []float64{1000, 1000, 1000}),
+		mkCell("gone", 1000, []float64{1000, 1000, 1000}),
+	)
+	new := fileWith(
+		mkCell("regressed", 1000, []float64{1500, 1500, 1500}), // +50% on a tight dist
+		mkCell("improved", 1000, []float64{600, 600, 600}),     // -40%
+		mkCell("noisy", 1000, []float64{1080, 1180, 1280}),     // +18%, inside the noise floor
+		mkCell("drifted", 2000, []float64{1000, 1000, 1000}),   // sim work changed
+		mkCell("added", 1000, []float64{1000, 1000, 1000}),
+	)
+	rep := Compare(old, new, CompareOpts{})
+
+	got := map[string]Verdict{}
+	for _, r := range rep.Rows {
+		if r.Metric == MetricNsPerOp {
+			got[strings.Split(r.Cell, "/")[0]] = r.Verdict
+		}
+	}
+	if got["regressed"] != VerdictRegressed {
+		t.Errorf("regressed cell verdict = %v", got["regressed"])
+	}
+	if got["improved"] != VerdictImproved {
+		t.Errorf("improved cell verdict = %v", got["improved"])
+	}
+	if got["noisy"] != VerdictNoise {
+		t.Errorf("noisy cell verdict = %v", got["noisy"])
+	}
+	if _, ok := got["drifted"]; ok {
+		t.Error("drifted cell must be excluded from metric rows")
+	}
+	if len(rep.Drift) != 1 || rep.Drift[0] != "drifted/LRP/t8" {
+		t.Errorf("drift = %v", rep.Drift)
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "gone/LRP/t8" {
+		t.Errorf("missing = %v", rep.Missing)
+	}
+	if len(rep.Added) != 1 || rep.Added[0] != "added/LRP/t8" {
+		t.Errorf("added = %v", rep.Added)
+	}
+	if rep.Regressions != 1 || rep.Improvements != 1 {
+		t.Errorf("regressions=%d improvements=%d, want 1/1", rep.Regressions, rep.Improvements)
+	}
+	if rep.Pass() {
+		t.Error("report with a regression must not pass")
+	}
+	if !strings.HasPrefix(rep.Summary(), "FAIL: 1 regressions") {
+		t.Errorf("summary = %q", rep.Summary())
+	}
+}
+
+// TestCompareSelf pins the identity property the CI gate relies on:
+// comparing a file against itself reports zero regressions.
+func TestCompareSelf(t *testing.T) {
+	f := sampleFile()
+	rep := Compare(f, f, CompareOpts{})
+	if !rep.Pass() || rep.Improvements != 0 || len(rep.Drift) != 0 {
+		t.Fatalf("self-compare: %s (drift %v)", rep.Summary(), rep.Drift)
+	}
+	for _, r := range rep.Rows {
+		if r.Delta != 0 || r.Verdict != VerdictOK {
+			t.Fatalf("self-compare row moved: %+v", r)
+		}
+	}
+}
+
+// TestCompareTableGolden pins the delta table's exact rendering: the
+// compare output is part of the CI contract, so its format changes must
+// be deliberate.
+func TestCompareTableGolden(t *testing.T) {
+	old := fileWith(mkCell("hashmap", 1000, []float64{1000, 1000, 1000}))
+	new := fileWith(mkCell("hashmap", 1000, []float64{1500, 1500, 1500}))
+	rep := Compare(old, new, CompareOpts{})
+	want := strings.Join([]string{
+		"lrpbench compare: new vs old (lower is better)",
+		"cell            metric         old     new     delta   floor  verdict  ",
+		"--------------  -------------  ------  ------  ------  -----  ---------",
+		"hashmap/LRP/t8  ns_per_op      1000.0  1500.0  +50.0%  10.0%  REGRESSED",
+		"hashmap/LRP/t8  bytes_per_op   100.0   100.0   +0.0%   10.0%  ok       ",
+		"hashmap/LRP/t8  allocs_per_op  1.0     1.0     +0.0%   10.0%  ok       ",
+		"note: threshold=10% noise-mult=3x; floor = max(threshold, noise-mult*(oldMAD+newMAD)/old)",
+		"",
+	}, "\n")
+	if got := rep.Table(); got != want {
+		t.Fatalf("delta table changed:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+}
+
+// TestCompareSchemaGuard: loading a file with a foreign schema fails.
+func TestCompareSchemaGuard(t *testing.T) {
+	f := sampleFile()
+	f.Schema = "benchfmt/v2"
+	path := filepath.Join(t.TempDir(), "bad.json")
+	b, _ := json.Marshal(f)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchFile(path); err == nil {
+		t.Fatal("foreign schema must not load")
+	}
+}

@@ -1,0 +1,182 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"lrp/internal/stats"
+)
+
+// CompareOpts tunes the regression verdict.
+type CompareOpts struct {
+	// Threshold is the minimum relative delta (fraction of the old
+	// median) that can ever count as a regression. Defaults to 0.10.
+	Threshold float64
+	// NoiseMult scales the measured noise floor: a delta only counts
+	// when it exceeds NoiseMult × (oldMAD+newMAD)/oldMedian. Defaults
+	// to 3.
+	NoiseMult float64
+	// Metrics to compare (lower is better). Defaults to CompareMetrics.
+	Metrics []string
+}
+
+func (o CompareOpts) withDefaults() CompareOpts {
+	if o.Threshold == 0 {
+		o.Threshold = 0.10
+	}
+	if o.NoiseMult == 0 {
+		o.NoiseMult = 3
+	}
+	if o.Metrics == nil {
+		o.Metrics = CompareMetrics
+	}
+	return o
+}
+
+// Verdict classifies one metric's movement between two bench files.
+type Verdict string
+
+const (
+	// VerdictOK: the delta is inside the regression floor.
+	VerdictOK Verdict = "ok"
+	// VerdictNoise: the delta exceeds Threshold but not the measured
+	// noise floor — tolerated, but worth a look if it recurs.
+	VerdictNoise Verdict = "noise"
+	// VerdictImproved: the metric got better by more than the floor.
+	VerdictImproved Verdict = "improved"
+	// VerdictRegressed: the metric got worse by more than the floor.
+	VerdictRegressed Verdict = "REGRESSED"
+)
+
+// CompareRow is one (cell, metric) comparison.
+type CompareRow struct {
+	Cell    string  `json:"cell"`
+	Metric  string  `json:"metric"`
+	Old     float64 `json:"old"`
+	New     float64 `json:"new"`
+	Delta   float64 `json:"delta"` // (new-old)/old
+	Floor   float64 `json:"floor"` // regression floor actually applied
+	Verdict Verdict `json:"verdict"`
+}
+
+// CompareReport is the full verdict of comparing two bench files.
+type CompareReport struct {
+	Opts   CompareOpts  `json:"opts"`
+	OldEnv EnvInfo      `json:"old_env"`
+	NewEnv EnvInfo      `json:"new_env"`
+	Rows   []CompareRow `json:"rows"`
+	// Missing lists old cells absent from the new file (a shrunken new
+	// grid — e.g. a -short run vs the full baseline — is compared on
+	// the intersection). Added lists new cells absent from the old.
+	Missing []string `json:"missing,omitempty"`
+	Added   []string `json:"added,omitempty"`
+	// Drift lists cells whose simulated work (sim_ops / sim_cycles)
+	// differs between files: their host deltas are not comparable and
+	// are excluded from the verdict.
+	Drift []string `json:"drift,omitempty"`
+
+	Regressions  int `json:"regressions"`
+	Improvements int `json:"improvements"`
+}
+
+// Compare evaluates new against old cell by cell. Both files must carry
+// the current schema (Validate enforces it on load).
+func Compare(old, new *BenchFile, opts CompareOpts) *CompareReport {
+	opts = opts.withDefaults()
+	rep := &CompareReport{Opts: opts, OldEnv: old.Env, NewEnv: new.Env}
+
+	oldCells := make(map[string]BenchCell, len(old.Cells))
+	for _, c := range old.Cells {
+		oldCells[c.Key()] = c
+	}
+	newKeys := make(map[string]bool, len(new.Cells))
+
+	for _, nc := range new.Cells {
+		k := nc.Key()
+		newKeys[k] = true
+		oc, ok := oldCells[k]
+		if !ok {
+			rep.Added = append(rep.Added, k)
+			continue
+		}
+		if oc.SimOps != nc.SimOps || oc.SimCycles != nc.SimCycles {
+			rep.Drift = append(rep.Drift, k)
+			continue
+		}
+		for _, m := range opts.Metrics {
+			od, ook := oc.Metrics[m]
+			nd, nok := nc.Metrics[m]
+			if !ook || !nok || od.Median == 0 {
+				continue
+			}
+			delta := (nd.Median - od.Median) / od.Median
+			noise := opts.NoiseMult * (od.MAD + nd.MAD) / od.Median
+			floor := opts.Threshold
+			if noise > floor {
+				floor = noise
+			}
+			v := VerdictOK
+			switch {
+			case delta > floor:
+				v = VerdictRegressed
+				rep.Regressions++
+			case delta < -floor:
+				v = VerdictImproved
+				rep.Improvements++
+			case delta > opts.Threshold || delta < -opts.Threshold:
+				v = VerdictNoise
+			}
+			rep.Rows = append(rep.Rows, CompareRow{
+				Cell: k, Metric: m, Old: od.Median, New: nd.Median,
+				Delta: delta, Floor: floor, Verdict: v,
+			})
+		}
+	}
+	for k := range oldCells {
+		if !newKeys[k] {
+			rep.Missing = append(rep.Missing, k)
+		}
+	}
+	sort.Strings(rep.Missing)
+	sort.Strings(rep.Added)
+	sort.Strings(rep.Drift)
+	return rep
+}
+
+// Pass reports whether the comparison found zero regressions.
+func (r *CompareReport) Pass() bool { return r.Regressions == 0 }
+
+// Table renders the per-metric delta table.
+func (r *CompareReport) Table() string {
+	t := stats.NewTable("lrpbench compare: new vs old (lower is better)",
+		"cell", "metric", "old", "new", "delta", "floor", "verdict")
+	for _, row := range r.Rows {
+		t.AddRow(row.Cell, row.Metric,
+			fmt.Sprintf("%.1f", row.Old),
+			fmt.Sprintf("%.1f", row.New),
+			fmt.Sprintf("%+.1f%%", 100*row.Delta),
+			fmt.Sprintf("%.1f%%", 100*row.Floor),
+			string(row.Verdict))
+	}
+	t.AddNote("threshold=%.0f%% noise-mult=%.0fx; floor = max(threshold, noise-mult*(oldMAD+newMAD)/old)",
+		100*r.Opts.Threshold, r.Opts.NoiseMult)
+	if len(r.Drift) > 0 {
+		t.AddNote("drift (simulated work changed, excluded): %v", r.Drift)
+	}
+	if len(r.Missing) > 0 {
+		t.AddNote("cells only in old (compared on intersection): %s", strconv.Itoa(len(r.Missing)))
+	}
+	if len(r.Added) > 0 {
+		t.AddNote("cells only in new: %v", r.Added)
+	}
+	return t.Format()
+}
+
+// Summary renders the one-line verdict.
+func (r *CompareReport) Summary() string {
+	if r.Pass() {
+		return fmt.Sprintf("PASS: 0 regressions, %d improvements, %d cells compared", r.Improvements, len(r.Rows))
+	}
+	return fmt.Sprintf("FAIL: %d regressions, %d improvements, %d cells compared", r.Regressions, r.Improvements, len(r.Rows))
+}

@@ -1,0 +1,230 @@
+package lrp
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"lrp/internal/perf"
+)
+
+// benchGridSizes are the per-structure initial sizes of the lrpbench
+// grid: the experiment defaults at quarter scale (the same scale the
+// go-test benchmarks use), so a full grid finishes in a couple of
+// minutes while still exercising every mechanism's hot paths.
+var benchGridSizes = map[string]int{
+	"linkedlist": 128,
+	"hashmap":    4096,
+	"bstree":     2048,
+	"skiplist":   2048,
+	"queue":      512,
+}
+
+// shortBenchWorkloads × shortBenchMechs is the -short grid: a strict
+// subset of the full grid's cells (identical per-cell parameters), so a
+// short run compares against a committed full baseline on the
+// intersection. The pair covers the cheapest and the most allocation-
+// heavy workload under a store-buffer, the paper's mechanism, and a
+// non-RP extension.
+var (
+	shortBenchWorkloads = []string{"linkedlist", "hashmap"}
+	shortBenchMechs     = []Mechanism{SB, LRP, EADR}
+)
+
+// BenchOpts parameterizes one lrpbench grid run. The zero value (or
+// Short=true) gives the committed-baseline defaults; every field is
+// recorded in the output file's Grid so a rerun is reproducible.
+type BenchOpts struct {
+	// Workloads are the structures to run (default: all five).
+	Workloads []string
+	// Mechs are the mechanisms to run (default: all registered).
+	Mechs []Mechanism
+	// Threads are the worker counts (default: {8}).
+	Threads []int
+	// Ops is the measured operations per thread (default 60).
+	Ops int
+	// Reps is the repetition count per cell (default 5). Each rep runs
+	// the identical simulation — same seed, same virtual-time result —
+	// so reps differ only in host speed, and the median/MAD summary
+	// separates real throughput from scheduler noise.
+	Reps int
+	// Seed pins every cell's simulated execution (default 7).
+	Seed uint64
+	// Short selects the reduced per-PR smoke grid: a strict subset of
+	// the full grid's cells, comparable against a full baseline.
+	Short bool
+	// Phases attaches the phase profiler to every rep and records the
+	// per-phase host-time breakdown (median across reps) per cell.
+	Phases bool
+	// Progress, when set, receives one line per finished cell.
+	Progress func(string)
+}
+
+func (o BenchOpts) withDefaults() BenchOpts {
+	if o.Workloads == nil {
+		if o.Short {
+			o.Workloads = shortBenchWorkloads
+		} else {
+			o.Workloads = Structures
+		}
+	}
+	if o.Mechs == nil {
+		if o.Short {
+			o.Mechs = shortBenchMechs
+		} else {
+			o.Mechs = Mechanisms()
+		}
+	}
+	if o.Threads == nil {
+		o.Threads = []int{8}
+	}
+	if o.Ops == 0 {
+		o.Ops = 60
+	}
+	if o.Reps == 0 {
+		o.Reps = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	return o
+}
+
+// RunBench executes the workload × mechanism × threads grid and returns
+// the measured BenchFile (unstamped; callers wanting a Created field
+// call Stamp). Cells run strictly serially on the calling goroutine —
+// parallel cells would contend for cores and corrupt each other's host
+// timings.
+func RunBench(o BenchOpts) (*perf.BenchFile, error) {
+	o = o.withDefaults()
+	f := &perf.BenchFile{
+		Schema: perf.BenchSchema,
+		Env:    perf.HostEnv(),
+		Grid: perf.GridInfo{
+			Workloads: append([]string(nil), o.Workloads...),
+			Mechs:     kindNames(o.Mechs),
+			Threads:   append([]int(nil), o.Threads...),
+			Ops:       o.Ops,
+			Reps:      o.Reps,
+			Seed:      o.Seed,
+			Short:     o.Short,
+		},
+	}
+	ncells := len(o.Workloads) * len(o.Mechs) * len(o.Threads)
+	done := 0
+	for _, structure := range o.Workloads {
+		for _, k := range o.Mechs {
+			for _, threads := range o.Threads {
+				c, err := runBenchCell(o, structure, k, threads)
+				if err != nil {
+					return nil, fmt.Errorf("lrpbench: %s/%s/t%d: %w", structure, k, threads, err)
+				}
+				f.Cells = append(f.Cells, c)
+				done++
+				if o.Progress != nil {
+					ns := c.Metrics[perf.MetricNsPerOp]
+					o.Progress(fmt.Sprintf("[%d/%d] %-28s %8.0f ns/op (±%.0f) %d sim ops",
+						done, ncells, c.Key(), ns.Median, ns.MAD, c.SimOps))
+				}
+			}
+		}
+	}
+	return f, f.Validate()
+}
+
+// runBenchCell measures one grid point over o.Reps repetitions.
+func runBenchCell(o BenchOpts, structure string, k Mechanism, threads int) (perf.BenchCell, error) {
+	size := benchGridSizes[structure]
+	cell := perf.BenchCell{
+		Workload:  structure,
+		Mechanism: k.String(),
+		Threads:   threads,
+		Size:      size,
+	}
+	spec := Spec{
+		Structure:    structure,
+		Threads:      threads,
+		InitialSize:  size,
+		OpsPerThread: o.Ops,
+		Seed:         o.Seed,
+	}
+	wall := make([]float64, 0, o.Reps)
+	nsPerOp := make([]float64, 0, o.Reps)
+	opsPerSec := make([]float64, 0, o.Reps)
+	bytesPerOp := make([]float64, 0, o.Reps)
+	allocsPerOp := make([]float64, 0, o.Reps)
+	phaseNs := make(map[string][]float64)
+
+	for rep := 0; rep < o.Reps; rep++ {
+		cfg := DefaultConfig().WithMechanism(k)
+		cfg.Cores = threads
+		if cfg.Cores < 8 {
+			cfg.Cores = 8
+		}
+		var prof *perf.Profiler
+		if o.Phases {
+			prof = perf.New(perf.Options{})
+			cfg.Perf = prof
+		}
+
+		// Alloc accounting: TotalAlloc/Mallocs are monotonic, so the
+		// before/after delta is GC-independent; the explicit GC keeps a
+		// collection triggered by the previous rep's garbage off this
+		// rep's wall clock.
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		_, m, err := RunWorkload(cfg, spec)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return cell, err
+		}
+
+		// The whole run — warm-up fill plus measured window — is the
+		// unit of cost, so the op denominator is the machine's total
+		// simulated memory-operation count, not the window delta.
+		simOps := m.Stats().Ops
+		simCycles := int64(m.Time())
+		if rep == 0 {
+			cell.SimOps = simOps
+			cell.SimCycles = simCycles
+		} else if simOps != cell.SimOps || simCycles != cell.SimCycles {
+			// The simulation is seeded and deterministic; a rep that
+			// diverged means the harness itself is broken.
+			return cell, fmt.Errorf("nondeterministic rep %d: %d ops / %d cycles, want %d / %d",
+				rep, simOps, simCycles, cell.SimOps, cell.SimCycles)
+		}
+
+		ns := float64(elapsed.Nanoseconds())
+		ops := float64(simOps)
+		wall = append(wall, ns)
+		nsPerOp = append(nsPerOp, ns/ops)
+		opsPerSec = append(opsPerSec, ops/elapsed.Seconds())
+		bytesPerOp = append(bytesPerOp, float64(after.TotalAlloc-before.TotalAlloc)/ops)
+		allocsPerOp = append(allocsPerOp, float64(after.Mallocs-before.Mallocs)/ops)
+		if prof != nil {
+			for _, st := range prof.Snapshot() {
+				if st.Count > 0 {
+					phaseNs[st.Name] = append(phaseNs[st.Name], float64(st.Ns))
+				}
+			}
+		}
+	}
+
+	cell.Metrics = map[string]perf.Dist{
+		perf.MetricWallNs:       perf.NewDist(wall),
+		perf.MetricNsPerOp:      perf.NewDist(nsPerOp),
+		perf.MetricSimopsPerSec: perf.NewDist(opsPerSec),
+		perf.MetricBytesPerOp:   perf.NewDist(bytesPerOp),
+		perf.MetricAllocsPerOp:  perf.NewDist(allocsPerOp),
+	}
+	if len(phaseNs) > 0 {
+		cell.PhaseNs = make(map[string]int64, len(phaseNs))
+		for name, samples := range phaseNs {
+			cell.PhaseNs[name] = int64(perf.Median(samples))
+		}
+	}
+	return cell, nil
+}

@@ -1,0 +1,98 @@
+package lrp
+
+import (
+	"path/filepath"
+	"testing"
+
+	"lrp/internal/perf"
+)
+
+// TestBenchSelfCompare runs a tiny grid end to end and pins the harness
+// contract the CI gate relies on: the file validates, writes and reloads
+// byte-faithfully, every rep of a cell simulates identical work, the
+// phase breakdown is populated, and comparing the file against itself
+// reports zero regressions.
+func TestBenchSelfCompare(t *testing.T) {
+	f, err := RunBench(BenchOpts{
+		Workloads: []string{"linkedlist"},
+		Mechs:     []Mechanism{LRP},
+		Threads:   []int{2},
+		Ops:       10,
+		Reps:      2,
+		Phases:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(f.Cells))
+	}
+	c := f.Cells[0]
+	if c.Key() != "linkedlist/LRP/t2" {
+		t.Fatalf("cell key = %q", c.Key())
+	}
+	if c.SimOps == 0 || c.SimCycles == 0 {
+		t.Fatalf("simulated work not recorded: %+v", c)
+	}
+	for _, m := range []string{
+		perf.MetricNsPerOp, perf.MetricSimopsPerSec,
+		perf.MetricBytesPerOp, perf.MetricAllocsPerOp, perf.MetricWallNs,
+	} {
+		d, ok := c.Metrics[m]
+		if !ok || len(d.Reps) != 2 {
+			t.Fatalf("metric %s missing or wrong rep count: %+v", m, d)
+		}
+	}
+	if c.PhaseNs["protocol"] == 0 || c.PhaseNs["scheduler"] == 0 {
+		t.Fatalf("phase breakdown not populated: %+v", c.PhaseNs)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := perf.ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := perf.Compare(f, g, perf.CompareOpts{})
+	if !rep.Pass() || rep.Improvements != 0 || len(rep.Drift) != 0 || len(rep.Missing) != 0 {
+		t.Fatalf("self-compare must be clean: %s (drift %v missing %v)",
+			rep.Summary(), rep.Drift, rep.Missing)
+	}
+}
+
+// TestBenchShortIsSubset pins the -short contract: every short-grid cell
+// exists in the full grid with identical parameters, so a per-PR short
+// run can compare against the committed full baseline on the
+// intersection.
+func TestBenchShortIsSubset(t *testing.T) {
+	full := BenchOpts{}.withDefaults()
+	short := BenchOpts{Short: true}.withDefaults()
+	inFull := map[string]bool{}
+	for _, w := range full.Workloads {
+		inFull[w] = true
+	}
+	for _, w := range short.Workloads {
+		if !inFull[w] {
+			t.Errorf("short workload %s not in full grid", w)
+		}
+	}
+	mechs := map[Mechanism]bool{}
+	for _, k := range full.Mechs {
+		mechs[k] = true
+	}
+	for _, k := range short.Mechs {
+		if !mechs[k] {
+			t.Errorf("short mechanism %s not in full grid", k)
+		}
+	}
+	if full.Ops != short.Ops || full.Seed != short.Seed {
+		t.Errorf("short grid changed per-cell parameters: ops %d/%d seed %d/%d",
+			full.Ops, short.Ops, full.Seed, short.Seed)
+	}
+	if len(full.Threads) != len(short.Threads) || full.Threads[0] != short.Threads[0] {
+		t.Errorf("short grid changed thread counts: %v vs %v", full.Threads, short.Threads)
+	}
+}

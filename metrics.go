@@ -280,6 +280,18 @@ func MetricsSummary(m *Machine) string {
 	return b.String()
 }
 
+// WriteMetricsJSON writes a machine's metrics registry as a
+// schema-versioned (lrpmetrics/v1) JSON document with deterministic key
+// order: metrics sorted by name, histogram buckets ascending. It errors
+// when the machine has no Observer — there is nothing to export.
+func WriteMetricsJSON(m *Machine, w io.Writer) error {
+	reg := m.Observer().Registry()
+	if reg == nil {
+		return fmt.Errorf("lrp: machine has no metrics registry (attach an Observer)")
+	}
+	return reg.WriteJSON(w)
+}
+
 // WriteTrace runs one workload under mechanism k with the tracer attached
 // and writes the Chrome trace_event JSON to w (load it in Perfetto or
 // chrome://tracing). It returns the workload result.
