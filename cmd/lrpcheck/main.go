@@ -12,6 +12,18 @@
 //
 // It also runs the structural recovery walker on the first violating
 // image to show what the corruption looks like to a recovery procedure.
+//
+// Beyond structural checks, -dlin records the run's abstract operation
+// history and verifies durable linearizability at every crash boundary:
+// the recovered contents must be a happens-before-closed linearization
+// prefix of the history. This is the check that catches the ARP gap as
+// a concrete lost operation rather than a cut violation:
+//
+//	lrpcheck -dlin -mechanism LRP   # every boundary durably linearizable
+//	lrpcheck -dlin -mechanism ARP   # acked-but-lost operations reported
+//
+// -json replaces the narration with a machine-readable lrpsweep/v1
+// export of the sweep report on stdout (requires -exhaustive or -dlin).
 package main
 
 import (
@@ -34,10 +46,19 @@ func main() {
 		seed       = flag.Uint64("seed", 7, "deterministic seed")
 		exhaustive = flag.Bool("exhaustive", false,
 			"crash at every persist-completion boundary (±1 cycle) instead of sampling, and run a recovery walk at each")
+		dlin = flag.Bool("dlin", false,
+			"record the abstract operation history and check durable linearizability at every boundary (implies -exhaustive)")
+		jsonOut  = flag.Bool("json", false, "machine-readable lrpsweep/v1 sweep export on stdout (requires -exhaustive or -dlin)")
 		parallel = flag.Int("parallel", 0, "worker goroutines for the exhaustive sweep (0: one per CPU, 1: serial; the report is identical at any count)")
 	)
 	flag.Parse()
 
+	if *dlin {
+		*exhaustive = true
+	}
+	if *jsonOut && !*exhaustive {
+		fail(fmt.Errorf("-json exports a sweep report; use it with -exhaustive or -dlin"))
+	}
 	k, err := lrp.ParseMechanism(*mechName)
 	if err != nil {
 		fail(err)
@@ -48,44 +69,64 @@ func main() {
 		cfg.Cores = 4
 	}
 	cfg.TrackHB = true
-
-	fmt.Printf("running %s under %s (%d threads, %d elements, %d ops/thread)...\n",
-		*structure, k, *threads, *size, *ops)
-	_, m, rec, err := lrp.RunRecoverableWorkload(cfg, lrp.Spec{
+	spec := lrp.Spec{
 		Structure:    *structure,
 		Threads:      *threads,
 		InitialSize:  *size,
 		OpsPerThread: *ops,
 		Seed:         *seed,
-	})
+	}
+
+	say := func(format string, args ...any) {
+		if !*jsonOut {
+			fmt.Printf(format, args...)
+		}
+	}
+	say("running %s under %s (%d threads, %d elements, %d ops/thread)...\n",
+		*structure, k, *threads, *size, *ops)
+	var (
+		m    *lrp.Machine
+		rec  lrp.Recoverable
+		hist *lrp.OpHistory
+	)
+	if *dlin {
+		_, m, rec, hist, err = lrp.RunRecoverableWorkloadHist(cfg, spec)
+	} else {
+		_, m, rec, err = lrp.RunRecoverableWorkload(cfg, spec)
+	}
 	if err != nil {
 		fail(err)
 	}
 
 	var rpBad, arpBad int
 	var first *lrp.CrashReport
+	var sweep *lrp.SweepReport
 	if *exhaustive {
-		sweep, err := lrp.SweepCrashBoundariesParallel(m, rec, *parallel)
+		sweep, err = lrp.SweepCrash(m, lrp.SweepOpts{Rec: rec, Hist: hist, Workers: *parallel, Seed: *seed})
 		if err != nil {
 			fail(err)
 		}
 		rpBad, arpBad, first = sweep.RPBad, sweep.ARPBad, sweep.FirstRP
-		fmt.Printf("swept %d crash boundaries over %v of execution\n", sweep.Boundaries, m.Time())
-		fmt.Printf("  recovery walks: %d run, %d dirty (%d nodes quarantined)\n",
+		say("swept %d crash boundaries over %v of execution\n", sweep.Boundaries, m.Time())
+		say("  recovery walks: %d run, %d dirty (%d nodes quarantined)\n",
 			sweep.WalksRun, sweep.DirtyWalks, sweep.Quarantined)
 		if sweep.FirstDirty != nil {
-			fmt.Printf("  first dirty walk at t=%v: %v\n", sweep.FirstDirtyAt, sweep.FirstDirty)
+			say("  first dirty walk at t=%v: %v\n", sweep.FirstDirtyAt, sweep.FirstDirty)
+		}
+		if sweep.DLinChecked > 0 {
+			say("  durable linearizability: %d/%d boundaries clean\n",
+				sweep.DLinChecked-sweep.DLinBad, sweep.DLinChecked)
 		}
 	} else {
 		rpBad, arpBad, first, err = lrp.FuzzCrashes(m, *samples, *seed)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("sampled %d crash instants over %v of execution\n", *samples, m.Time())
+		say("sampled %d crash instants over %v of execution\n", *samples, m.Time())
 	}
-	fmt.Printf("  RP  (consistent-cut) violations: %d\n", rpBad)
-	fmt.Printf("  ARP (one-sided rule) violations: %d\n", arpBad)
-	if first != nil {
+	say("  RP  (consistent-cut) violations: %d\n", rpBad)
+	say("  ARP (one-sided rule) violations: %d\n", arpBad)
+	if first != nil && !*jsonOut {
 		fmt.Printf("\nfirst RP-violating crash: t=%v (%d/%d writes persisted)\n",
 			first.At, first.PersistedWrites, first.TotalWrites)
 		for i, v := range first.RPViolations {
@@ -96,20 +137,42 @@ func main() {
 			fmt.Printf("  %v\n", v)
 		}
 	}
+	if sweep != nil && len(sweep.DLinViolations) > 0 && !*jsonOut {
+		fmt.Printf("\ndurable-linearizability violations (earliest %d of %d violating boundaries):\n",
+			len(sweep.DLinViolations), sweep.DLinBad)
+		for i, f := range sweep.DLinViolations {
+			if i == 3 {
+				fmt.Printf("  ... and %d more retained\n", len(sweep.DLinViolations)-3)
+				break
+			}
+			fmt.Printf("  %v\n", f)
+		}
+	}
+	if *jsonOut {
+		if err := sweep.WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
 	probed := "sampled crash"
 	if *exhaustive {
 		probed = "persist boundary"
 	}
+	bad := rpBad
+	if sweep != nil {
+		bad += sweep.DLinBad
+	}
 	switch {
-	case k.EnforcesRP() && rpBad == 0:
-		fmt.Printf("\n%s upholds Release Persistency: every %s leaves a consistent cut.\n", k, probed)
+	case k.EnforcesRP() && bad == 0:
+		say("\n%s upholds Release Persistency: every %s leaves a consistent cut.\n", k, probed)
 	case k.EnforcesRP():
-		fmt.Printf("\nBUG: %s claims RP but violated it.\n", k)
+		if !*jsonOut {
+			fmt.Printf("\nBUG: %s claims RP but violated it.\n", k)
+		}
 		os.Exit(1)
-	case rpBad > 0:
-		fmt.Printf("\n%s does not uphold Release Persistency: null recovery is unsafe (the paper's §3 argument).\n", k)
+	case bad > 0:
+		say("\n%s does not uphold Release Persistency: null recovery is unsafe (the paper's §3 argument).\n", k)
 	default:
-		fmt.Printf("\nno violations sampled — try more samples or a larger run.\n")
+		say("\nno violations sampled — try more samples or a larger run.\n")
 	}
 }
 

@@ -14,6 +14,10 @@
 //	lrpcrash -mechanism LRP -faults             # everything on, must be clean
 //	lrpcrash -mechanism ARP -faults             # RP violations surfaced
 //	lrpcrash -mechanism LRP -tear-prob 1        # only tearing
+//
+// -json replaces the narration with a machine-readable lrpsweep/v1
+// export of the sweep report on stdout (the first RP-violating boundary
+// rides along as a nested lrpcrash/v1 document).
 package main
 
 import (
@@ -42,6 +46,7 @@ func main() {
 		readProb  = flag.Float64("read-fault-prob", 0, "per-attempt NVM media read error probability")
 		stallProb = flag.Float64("stall-prob", 0, "per-run persist-engine stall probability")
 		stallMax  = flag.Int64("stall-max", 0, "max injected stall in cycles (0: default)")
+		jsonOut   = flag.Bool("json", false, "machine-readable lrpsweep/v1 sweep export on stdout instead of the narration")
 	)
 	flag.Parse()
 
@@ -69,14 +74,16 @@ func main() {
 		}
 	}
 
-	fmt.Printf("running %s under %s (%d threads, %d elements, %d ops/thread)\n",
-		*structure, k, *threads, *size, *ops)
-	if cfg.Faults.Enabled() {
-		fmt.Printf("faults: tear=%.2f write=%.2f read=%.2f stall=%.2f (seed %d)\n",
-			cfg.Faults.TearProb, cfg.Faults.WriteFaultProb, cfg.Faults.ReadFaultProb,
-			cfg.Faults.StallProb, cfg.Faults.Seed)
-	} else {
-		fmt.Println("faults: none (idealized NVM)")
+	if !*jsonOut {
+		fmt.Printf("running %s under %s (%d threads, %d elements, %d ops/thread)\n",
+			*structure, k, *threads, *size, *ops)
+		if cfg.Faults.Enabled() {
+			fmt.Printf("faults: tear=%.2f write=%.2f read=%.2f stall=%.2f (seed %d)\n",
+				cfg.Faults.TearProb, cfg.Faults.WriteFaultProb, cfg.Faults.ReadFaultProb,
+				cfg.Faults.StallProb, cfg.Faults.Seed)
+		} else {
+			fmt.Println("faults: none (idealized NVM)")
+		}
 	}
 
 	_, m, rec, err := lrp.RunRecoverableWorkload(cfg, lrp.Spec{
@@ -90,9 +97,19 @@ func main() {
 		fail(err)
 	}
 
-	sweep, err := lrp.SweepCrashBoundariesParallel(m, rec, *parallel)
+	sweep, err := lrp.SweepCrash(m, lrp.SweepOpts{Rec: rec, Workers: *parallel, Seed: *seed})
 	if err != nil {
 		fail(err)
+	}
+
+	if *jsonOut {
+		if err := sweep.WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+		if k.EnforcesRP() && !sweep.Consistent() {
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("\n%v\n", sweep)

@@ -10,8 +10,9 @@
 // any worker count.
 //
 // Experiments: config (Table 1), fig5, fig6, fig7, fig8, size,
-// ablation-ret, ablation-readmix, faults (FAULTS.md sweeps), replay
-// (the trace-driven mechanism comparison, TRACES.md), all.
+// ablation-ret, ablation-readmix, faults (FAULTS.md sweeps), dlin
+// (durable-linearizability sweeps, FAULTS.md), replay (the trace-driven
+// mechanism comparison, TRACES.md), all.
 //
 // A single workload can also be run directly:
 //
@@ -51,7 +52,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment to run: config|fig5|fig6|fig7|fig8|size|ablation-ret|ablation-readmix|faults|replay|all")
+		experiment = flag.String("experiment", "", "experiment to run: config|fig5|fig6|fig7|fig8|size|ablation-ret|ablation-readmix|faults|dlin|replay|all")
 		run        = flag.String("run", "", "run a single workload: linkedlist|hashmap|bstree|skiplist|queue")
 		mechanism  = flag.String("mechanism", "LRP", "mechanism for -run: "+strings.Join(lrp.MechanismNames(), "|"))
 		threads    = flag.Int("threads", 16, "worker threads")
@@ -191,6 +192,8 @@ func runExperiment(name string, opts lrp.ExperimentOpts) error {
 		return table(func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.AblationReadMix(o) })
 	case "faults":
 		return table(func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.FaultReport(o) })
+	case "dlin":
+		return table(func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.DLinReport(o) })
 	case "replay":
 		return table(lrp.ReplayComparison)
 	case "all":

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"lrp/internal/dlin"
 	"lrp/internal/engine"
 	"lrp/internal/exp"
 	"lrp/internal/fault"
@@ -214,8 +215,37 @@ func CrashBoundaries(m *Machine) []Time {
 	return out
 }
 
+// MaxDLinFindings bounds the durable-linearizability findings a sweep
+// report retains (the earliest, in boundary order); DLinBad still counts
+// every violating boundary.
+const MaxDLinFindings = 32
+
+// DLinFinding is one durable-linearizability violation tied to its sweep
+// coordinates: the boundary index and instant it was found at, plus the
+// mechanism and seed of the swept run, so the finding alone is enough to
+// reproduce it with one command.
+type DLinFinding struct {
+	// Boundary indexes CrashBoundaries; At is the crash instant.
+	Boundary int
+	At       Time
+	// Mechanism and Seed identify the run.
+	Mechanism string
+	Seed      uint64
+	// V is the violation itself.
+	V DLinViolation
+}
+
+func (f DLinFinding) String() string {
+	return fmt.Sprintf("dlin[mech=%s seed=%d boundary=%d t=%d]: %v",
+		f.Mechanism, f.Seed, f.Boundary, f.At, f.V)
+}
+
 // SweepReport aggregates an exhaustive crash-boundary sweep.
 type SweepReport struct {
+	// Mechanism and Seed identify the swept run (seed as passed through
+	// SweepOpts; zero when swept through the legacy entry points).
+	Mechanism string
+	Seed      uint64
 	// Boundaries is the number of crash instants examined.
 	Boundaries int
 	// RPBad and ARPBad count instants violating RP / the ARP-rule.
@@ -229,15 +259,32 @@ type SweepReport struct {
 	// FirstDirty is the first non-clean recovery report, at FirstDirtyAt.
 	FirstDirty   *RecoveryReport
 	FirstDirtyAt Time
+	// DLinChecked counts boundaries checked for durable linearizability
+	// (zero unless the sweep ran with an operation history); DLinBad
+	// those with at least one violation.
+	DLinChecked, DLinBad int
+	// DLinViolations holds the earliest findings in boundary order,
+	// capped at MaxDLinFindings. FirstDLin points at the first (nil when
+	// none), which occurred at FirstDLinAt.
+	DLinViolations []DLinFinding
+	FirstDLin      *DLinFinding
+	FirstDLinAt    Time
 }
 
 // Consistent reports the paper's claim for a correct mechanism: no RP
-// violation and no recovery walk that lost a node, at any boundary.
-func (r *SweepReport) Consistent() bool { return r.RPBad == 0 && r.DirtyWalks == 0 }
+// violation, no recovery walk that lost a node, and no durable-
+// linearizability violation, at any boundary.
+func (r *SweepReport) Consistent() bool {
+	return r.RPBad == 0 && r.DirtyWalks == 0 && r.DLinBad == 0
+}
 
 func (r *SweepReport) String() string {
-	return fmt.Sprintf("sweep: %d boundaries, %d RP / %d ARP-rule violations, %d/%d recovery walks dirty (%d nodes quarantined)",
-		r.Boundaries, r.RPBad, r.ARPBad, r.DirtyWalks, r.WalksRun, r.Quarantined)
+	s := fmt.Sprintf("sweep[mech=%s seed=%d]: %d boundaries, %d RP / %d ARP-rule violations, %d/%d recovery walks dirty (%d nodes quarantined)",
+		r.Mechanism, r.Seed, r.Boundaries, r.RPBad, r.ARPBad, r.DirtyWalks, r.WalksRun, r.Quarantined)
+	if r.DLinChecked > 0 {
+		s += fmt.Sprintf(", %d/%d boundaries durably linearizable", r.DLinChecked-r.DLinBad, r.DLinChecked)
+	}
+	return s
 }
 
 // SweepCrashBoundaries crashes the machine at every persist-completion
@@ -248,24 +295,66 @@ func (r *SweepReport) String() string {
 // the sweep stays linear in persists + boundaries. The machine must have
 // been built with Config.TrackHB.
 func SweepCrashBoundaries(m *Machine, rec Recoverable) (*SweepReport, error) {
-	return SweepCrashBoundariesParallel(m, rec, 1)
+	return SweepCrash(m, SweepOpts{Rec: rec, Workers: 1})
 }
 
 // SweepCrashBoundariesParallel is SweepCrashBoundaries sharded across
-// `workers` OS goroutines (0: one per CPU). The sorted boundary list is
-// split into contiguous ranges; each worker owns a private nvm.Cursor it
-// advances from its range's start, so the incremental-image optimization
-// survives the split. The merged report is identical to the serial
-// sweep's at any worker count: counts are sums over disjoint ranges, and
-// FirstRP/FirstDirty come from the globally first boundary — the lowest
-// index across chunks — not from whichever worker finished first. The
-// machine is shared read-only (the HB tracker, persist log and fault
-// plane are immutable once the run ends; observer counters are atomic).
+// `workers` OS goroutines (0: one per CPU); see SweepOpts.Workers.
 func SweepCrashBoundariesParallel(m *Machine, rec Recoverable, workers int) (*SweepReport, error) {
+	return SweepCrash(m, SweepOpts{Rec: rec, Workers: workers})
+}
+
+// SweepOpts configures a crash-boundary sweep.
+type SweepOpts struct {
+	// Rec enables a hardened recovery walk at every boundary.
+	Rec Recoverable
+	// Hist enables durable-linearizability checking (requires Rec): at
+	// every boundary the recovered state read through Rec is verified to
+	// be a happens-before-closed linearization prefix of the recorded
+	// operation history. Record one with RunRecoverableWorkloadHist, or
+	// reconstruct one from a trace (trace.Replayed.History).
+	Hist *OpHistory
+	// Workers shards the sorted boundary list into contiguous ranges
+	// across OS goroutines (0: one per CPU). The merged report is
+	// identical at any worker count.
+	Workers int
+	// Seed tags the report and every finding with the workload seed for
+	// one-command reproduction. Purely informational.
+	Seed uint64
+}
+
+// SweepCrash crashes machine m at every durable-state boundary and
+// checks each durable state: the consistent-cut criterion always, a
+// hardened recovery walk when o.Rec is set, and durable linearizability
+// when o.Hist is set too. The sorted boundary list is split into
+// contiguous ranges; each worker owns a private image cursor it advances
+// from its range's start, so the incremental-image optimization survives
+// the split. The merged report is identical to the serial sweep's at any
+// worker count: counts are sums over disjoint ranges, and every
+// first-hit (FirstRP, FirstDirty, FirstDLin) comes from the globally
+// first boundary — the lowest index across chunks — not from whichever
+// worker finished first. The machine is shared read-only (the HB
+// tracker, persist log and fault plane are immutable once the run ends;
+// observer counters are atomic). The machine must have been built with
+// Config.TrackHB.
+func SweepCrash(m *Machine, o SweepOpts) (*SweepReport, error) {
+	mech := m.Config().Mechanism.String()
 	tr := m.Tracker()
 	if tr == nil {
-		return nil, fmt.Errorf("lrp: crash analysis requires Config.TrackHB")
+		return nil, fmt.Errorf("lrp: crash analysis requires Config.TrackHB (mech=%s seed=%d)", mech, o.Seed)
 	}
+	rec := o.Rec
+	var ck *dlin.Checker
+	if o.Hist != nil {
+		if rec == nil {
+			return nil, fmt.Errorf("lrp: durable-linearizability checking requires a Recoverable (mech=%s seed=%d)", mech, o.Seed)
+		}
+		var err error
+		if ck, err = dlin.NewChecker(o.Hist, tr); err != nil {
+			return nil, fmt.Errorf("lrp: mech=%s seed=%d: %w", mech, o.Seed, err)
+		}
+	}
+	workers := o.Workers
 	// The sweep's host time is attributed from the caller's goroutine as
 	// one crash-phase region (worker goroutines never touch the
 	// profiler's region stack; what they add is wall-clock overlap).
@@ -274,7 +363,7 @@ func SweepCrashBoundariesParallel(m *Machine, rec Recoverable, workers int) (*Sw
 		defer p.End()
 	}
 	bounds := CrashBoundaries(m)
-	rep := &SweepReport{Boundaries: len(bounds)}
+	rep := &SweepReport{Mechanism: mech, Seed: o.Seed, Boundaries: len(bounds)}
 	if len(bounds) == 0 {
 		return rep, nil
 	}
@@ -290,7 +379,7 @@ func SweepCrashBoundariesParallel(m *Machine, rec Recoverable, workers int) (*Sw
 		}
 	}
 	chunks, _ := exp.Map(context.Background(), workers, len(ranges), func(i int) (sweepChunk, error) {
-		return sweepRange(m, rec, bounds, ranges[i][0], ranges[i][1]), nil
+		return sweepRange(m, rec, ck, bounds, ranges[i][0], ranges[i][1]), nil
 	})
 
 	firstRP, firstDirty := -1, -1
@@ -300,6 +389,8 @@ func SweepCrashBoundariesParallel(m *Machine, rec Recoverable, workers int) (*Sw
 		rep.WalksRun += c.walksRun
 		rep.DirtyWalks += c.dirtyWalks
 		rep.Quarantined += c.quarantined
+		rep.DLinChecked += c.dlinChecked
+		rep.DLinBad += c.dlinBad
 		// Chunks are merged in range order, so the first hit wins the
 		// global minimum.
 		if firstRP < 0 && c.firstRP >= 0 {
@@ -309,6 +400,19 @@ func SweepCrashBoundariesParallel(m *Machine, rec Recoverable, workers int) (*Sw
 			firstDirty = c.firstDirty
 			rep.FirstDirty, rep.FirstDirtyAt = c.firstDirtyRep, bounds[c.firstDirty]
 		}
+		// Each chunk kept its earliest findings, so taking them in range
+		// order up to the cap reproduces the serial sweep's list exactly.
+		for _, f := range c.dlinViol {
+			if len(rep.DLinViolations) >= MaxDLinFindings {
+				break
+			}
+			f.Mechanism, f.Seed = rep.Mechanism, rep.Seed
+			rep.DLinViolations = append(rep.DLinViolations, f)
+		}
+	}
+	if len(rep.DLinViolations) > 0 {
+		rep.FirstDLin = &rep.DLinViolations[0]
+		rep.FirstDLinAt = rep.DLinViolations[0].At
 	}
 	if firstRP >= 0 {
 		// Built once, after the merge, so the sweep performs exactly one
@@ -328,11 +432,20 @@ type sweepChunk struct {
 	walksRun, dirtyWalks, quarantined int
 	firstRP, firstDirty               int
 	firstDirtyRep                     *RecoveryReport
+	dlinChecked, dlinBad              int
+	dlinViol                          []DLinFinding
 }
 
-func sweepRange(m *Machine, rec Recoverable, bounds []Time, lo, hi int) sweepChunk {
+func sweepRange(m *Machine, rec Recoverable, ck *dlin.Checker, bounds []Time, lo, hi int) sweepChunk {
 	tr := m.Tracker()
 	c := sweepChunk{firstRP: -1, firstDirty: -1}
+	// Each worker owns a private Pass over the shared checker: boundary
+	// ranges are ascending, so the Pass's replayed-prefix cache behaves
+	// exactly as in a serial sweep of the same range.
+	var pass *dlin.Pass
+	if ck != nil {
+		pass = ck.NewPass()
+	}
 	// Each worker advances a private incremental cursor over its range:
 	// the mechanism's own durable log when the mechanism owns the image
 	// (eADR), the NVM persist log otherwise.
@@ -377,6 +490,18 @@ func sweepRange(m *Machine, rec Recoverable, bounds []Time, lo, hi int) sweepChu
 			}
 		}
 		m.Observer().RecoveryQuarantine(len(r.Quarantined))
+		if pass != nil {
+			c.dlinChecked++
+			if vs := pass.Check(at, r); len(vs) > 0 {
+				c.dlinBad++
+				for _, v := range vs {
+					if len(c.dlinViol) >= MaxDLinFindings {
+						break
+					}
+					c.dlinViol = append(c.dlinViol, DLinFinding{Boundary: i, At: at, V: v})
+				}
+			}
+		}
 	}
 	return c
 }

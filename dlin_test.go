@@ -1,0 +1,191 @@
+package lrp
+
+import (
+	"testing"
+)
+
+// dlinCfg builds a tracked, fault-free machine config: the durable-
+// linearizability checker is defined over fault-free executions (a torn
+// line makes the recovered state unexplainable by any prefix, which the
+// fault plane already covers via quarantine accounting).
+func dlinCfg(mech Mechanism) Config {
+	cfg := DefaultConfig().WithMechanism(mech)
+	cfg.Cores = 4
+	cfg.TrackHB = true
+	return cfg
+}
+
+var dlinSpec = Spec{Threads: 4, InitialSize: 32, OpsPerThread: 50, Seed: 7}
+
+// dlinSweep runs structure under mech with history capture and sweeps
+// every crash boundary with the durable-linearizability check on.
+func dlinSweep(t *testing.T, mech Mechanism, structure string, workers int) *SweepReport {
+	t.Helper()
+	spec := dlinSpec
+	spec.Structure = structure
+	_, m, rec, h, err := RunRecoverableWorkloadHist(dlinCfg(mech), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Updates() == 0 {
+		t.Fatalf("%s/%s history recorded no updates", structure, mech)
+	}
+	sweep, err := SweepCrash(m, SweepOpts{Rec: rec, Hist: h, Workers: workers, Seed: spec.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.DLinChecked == 0 {
+		t.Fatalf("%s/%s sweep checked no boundaries", structure, mech)
+	}
+	return sweep
+}
+
+// TestDLinRPMechanismsClean: every RP-enforcing mechanism must be
+// durably linearizable at EVERY crash boundary, on every structure: the
+// recovered state is exactly the happens-before-closed prefix of the
+// recorded history that had persisted.
+func TestDLinRPMechanismsClean(t *testing.T) {
+	structures := Structures
+	mechs := rpMechanisms()
+	if testing.Short() {
+		structures = []string{"linkedlist", "queue"}
+		mechs = []Mechanism{LRP, EADR}
+	}
+	for _, structure := range structures {
+		for _, mech := range mechs {
+			structure, mech := structure, mech
+			t.Run(structure+"/"+mech.String(), func(t *testing.T) {
+				t.Parallel()
+				sweep := dlinSweep(t, mech, structure, 0)
+				if sweep.DLinBad != 0 {
+					t.Fatalf("%v\nfirst: %v", sweep, sweep.FirstDLin)
+				}
+			})
+		}
+	}
+}
+
+// rpMechanisms returns every registered mechanism claiming RP
+// enforcement, so newly registered mechanisms are swept automatically.
+func rpMechanisms() []Mechanism {
+	var ks []Mechanism
+	for _, k := range Mechanisms() {
+		if k.EnforcesRP() {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// TestDLinDetectsARPGap pins the paper's §3 gap as a durable-
+// linearizability violation: under ARP a release (the linearizing link
+// CAS) can persist before the plain stores that initialized the node
+// behind it, so the recovery walk drops the node — an operation that was
+// acknowledged AND whose linearization persisted is missing from the
+// recovered state. The checker must classify that as acked-but-lost.
+func TestDLinDetectsARPGap(t *testing.T) {
+	sweep := dlinSweep(t, ARP, "linkedlist", 0)
+	if sweep.DLinBad == 0 {
+		t.Fatalf("ARP sweep found no durable-linearizability violations: %v", sweep)
+	}
+	lost := 0
+	for _, f := range sweep.DLinViolations {
+		if f.V.Class == DLinAckedLost {
+			lost++
+			if f.Mechanism != "ARP" {
+				t.Fatalf("finding lost its mechanism tag: %v", f)
+			}
+			if f.Seed != dlinSpec.Seed {
+				t.Fatalf("finding lost its seed tag: %v", f)
+			}
+		}
+	}
+	if lost == 0 {
+		t.Fatalf("ARP violations carried no acked-but-lost finding:\nfirst: %v", sweep.FirstDLin)
+	}
+	if sweep.FirstDLin == nil || sweep.FirstDLinAt != sweep.FirstDLin.At {
+		t.Fatalf("first finding not surfaced: %+v", sweep)
+	}
+}
+
+// TestDLinSingleInstant: CheckDurableLinearizability agrees with the
+// sweep at individual instants — clean under LRP at every boundary
+// prefix, and reproducing the sweep's first ARP finding at its instant.
+func TestDLinSingleInstant(t *testing.T) {
+	spec := dlinSpec
+	spec.Structure = "linkedlist"
+	_, m, rec, h, err := RunRecoverableWorkloadHist(dlinCfg(ARP), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := SweepCrash(m, SweepOpts{Rec: rec, Hist: h, Seed: spec.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.FirstDLin == nil {
+		t.Fatal("ARP sweep produced no finding to reproduce")
+	}
+	vs, err := CheckDurableLinearizability(m, rec, h, sweep.FirstDLinAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatalf("single-instant check at t=%d found nothing; sweep found %v",
+			sweep.FirstDLinAt, sweep.FirstDLin)
+	}
+	if vs[0] != sweep.FirstDLin.V {
+		t.Fatalf("single-instant check disagrees with sweep:\n  check: %v\n  sweep: %v",
+			vs[0], sweep.FirstDLin.V)
+	}
+}
+
+// TestDLinRequiresTracking: the checker must refuse a history recorded
+// without happens-before tracking, and a sweep must refuse a history
+// without a Recoverable.
+func TestDLinRequiresTracking(t *testing.T) {
+	cfg := dlinCfg(LRP)
+	cfg.TrackHB = false
+	spec := dlinSpec
+	spec.Structure = "linkedlist"
+	_, m, rec, h, err := RunRecoverableWorkloadHist(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SweepCrash(m, SweepOpts{Rec: rec, Hist: h}); err == nil {
+		t.Fatal("sweep accepted an untracked machine")
+	}
+	_, m2, rec2, h2, err := RunRecoverableWorkloadHist(dlinCfg(LRP), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rec2
+	if _, err := SweepCrash(m2, SweepOpts{Hist: h2}); err == nil {
+		t.Fatal("sweep accepted a history without a Recoverable")
+	}
+}
+
+// TestDLinInstrumentationInvariant: history capture must not perturb the
+// simulation — same config and spec, with and without instrumentation,
+// produce identical execution times and op counts.
+func TestDLinInstrumentationInvariant(t *testing.T) {
+	spec := dlinSpec
+	spec.Structure = "skiplist"
+	res1, m1, _, err := RunRecoverableWorkload(dlinCfg(LRP), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, m2, _, h, err := RunRecoverableWorkloadHist(dlinCfg(LRP), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Time() != m2.Time() || res1.ExecTime != res2.ExecTime {
+		t.Fatalf("instrumentation changed timing: %v/%v vs %v/%v",
+			m1.Time(), res1.ExecTime, m2.Time(), res2.ExecTime)
+	}
+	if res1.Sys != res2.Sys {
+		t.Fatalf("instrumentation changed machine counters")
+	}
+	if len(h.Ops) == 0 {
+		t.Fatal("instrumented run recorded no operations")
+	}
+}

@@ -123,6 +123,7 @@ func (b *BST) Insert(c *memsys.Ctx, key, val uint64) bool {
 		}
 		// Publish with one release CAS: the paper's insert pattern.
 		if _, ok := c.CAS(rec.pCell, rec.leaf, uint64(internal), isa.Release); ok {
+			c.Linearize()
 			return true
 		}
 	}
@@ -169,6 +170,7 @@ inject:
 			}
 			// Swing: replace the parent with the sibling subtree.
 			if _, ok := c.CAS(rec.gpCell, rec.parent, clearPtr(sib), isa.Release); ok {
+				c.Linearize()
 				return true
 			}
 			// The grandparent edge changed (e.g., the parent moved up

@@ -65,6 +65,7 @@ func (l *sortedList) insert(c *memsys.Ctx, key, val uint64) bool {
 		c.Store(n+nodeVal, val)
 		c.Store(n+nodeNext, curr)
 		if _, ok := c.CAS(predCell, curr, uint64(n), isa.Release); ok {
+			c.Linearize()
 			return true
 		}
 	}
@@ -87,6 +88,7 @@ func (l *sortedList) delete(c *memsys.Ctx, key uint64) bool {
 		if _, ok := c.CAS(addr(curr)+nodeNext, next, withMark(next), isa.Release); !ok {
 			continue
 		}
+		c.Linearize()
 		// Physical deletion: best effort; a failed unlink is completed
 		// by a later search.
 		c.CAS(predCell, curr, clearPtr(next), isa.Release)

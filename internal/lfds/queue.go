@@ -57,6 +57,7 @@ func (q *Queue) Enqueue(c *memsys.Ctx, val uint64) {
 		}
 		// Link the node: the linearization point.
 		if _, ok := c.CAS(addr(tail)+qNext, 0, uint64(n), isa.Release); ok {
+			c.Linearize()
 			// Swing the tail (best effort).
 			c.CAS(q.tail, tail, uint64(n), isa.Release)
 			return
@@ -83,6 +84,7 @@ func (q *Queue) Dequeue(c *memsys.Ctx) (val uint64, ok bool) {
 		}
 		v := c.Load(addr(next) + qVal)
 		if _, swung := c.CAS(q.head, head, next, isa.Release); swung {
+			c.Linearize()
 			return v, true
 		}
 	}

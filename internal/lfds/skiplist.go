@@ -130,6 +130,7 @@ func (s *SkipList) Insert(c *memsys.Ctx, key, val uint64) bool {
 		if _, ok := c.CAS(preds[0], succs[0], uint64(n), isa.Release); !ok {
 			continue
 		}
+		c.Linearize()
 		// Link the index levels best-effort (plain CASes: the index is
 		// volatile bookkeeping; membership and recovery are defined by
 		// the bottom level alone, so the index carries no persist
@@ -183,6 +184,7 @@ func (s *SkipList) Delete(c *memsys.Ctx, key uint64) bool {
 				return false // someone else deleted it first
 			}
 			if _, ok := c.CAS(addr(n)+slNext(0), next, withMark(next), isa.Release); ok {
+				c.Linearize()
 				s.find(c, key) // physical unlink via helping
 				return true
 			}

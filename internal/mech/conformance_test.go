@@ -18,6 +18,8 @@
 package mech_test
 
 import (
+	"bytes"
+
 	"testing"
 
 	"lrp"
@@ -227,6 +229,75 @@ func TestMessagePassingLitmus(t *testing.T) {
 				}
 				if rep.Image.Read(flag) == 1 && rep.Image.Read(data) != 42 {
 					t.Fatalf("flag durable without its data at t=%d", at)
+				}
+			}
+		})
+	}
+}
+
+// TestDLinConformance extends the sweep contract to durable
+// linearizability: every RP-enforcing mechanism — including out-of-tree
+// registrations — must recover a happens-before-closed linearization
+// prefix of the recorded operation history at every crash boundary.
+func TestDLinConformance(t *testing.T) {
+	for _, k := range persist.Kinds() {
+		if !k.EnforcesRP() {
+			continue
+		}
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			_, m, rec, h, err := lrp.RunRecoverableWorkloadHist(conformanceConfig(k), conformanceSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sweep, err := lrp.SweepCrash(m, lrp.SweepOpts{Rec: rec, Hist: h, Seed: conformanceSpec().Seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sweep.DLinChecked != sweep.Boundaries {
+				t.Fatalf("dlin checked %d of %d boundaries: %v", sweep.DLinChecked, sweep.Boundaries, sweep)
+			}
+			if !sweep.Consistent() {
+				t.Fatalf("%v is registered as RP-enforcing but lost operations: %v\nfirst: %v",
+					k, sweep, sweep.FirstDLin)
+			}
+		})
+	}
+}
+
+// TestDLinSweepDeterminism: the merged sweep report — including the
+// capped violation list — must be byte-identical at any worker count.
+// LRP exercises the clean path; ARP the finding-heavy path (its capped
+// list is where a merge-order bug would show).
+func TestDLinSweepDeterminism(t *testing.T) {
+	for _, k := range []persist.Kind{lrp.LRP, lrp.ARP} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			_, m, rec, h, err := lrp.RunRecoverableWorkloadHist(conformanceConfig(k), conformanceSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []byte
+			for _, workers := range []int{1, 2, 8} {
+				sweep, err := lrp.SweepCrash(m, lrp.SweepOpts{
+					Rec: rec, Hist: h, Workers: workers, Seed: conformanceSpec().Seed,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := sweep.WriteJSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if want == nil {
+					want = buf.Bytes()
+					continue
+				}
+				if !bytes.Equal(want, buf.Bytes()) {
+					t.Fatalf("%v sweep export differs between -parallel 1 and -parallel %d:\n%s\nvs\n%s",
+						k, workers, want, buf.Bytes())
 				}
 			}
 		})

@@ -114,6 +114,7 @@ func (s *System) performWrite(tid int, addr isa.Addr, val uint64, release, rmwAc
 			st = s.tracker.OnWrite(tid, addr)
 		}
 		l.Stamps = append(l.Stamps, st)
+		s.threads[tid].lastStamp = st
 	}
 	l.Pending = true
 	s.mem.Write(addr, val)

@@ -33,6 +33,28 @@ type Recorder interface {
 	RecordMark(id uint8)
 }
 
+// OpRecorder is the optional operation-history channel of a Recorder: a
+// recorder that also implements it receives the workload's abstract
+// data-structure operations (invocation, linearization point, response
+// with outcome) interleaved with the memory-op stream. The trace writer
+// implements it so recorded traces carry the history durable-
+// linearizability checking needs; plain recorders ignore it.
+//
+// The callbacks fire between memory operations while the scheduler holds
+// the machine single-threaded, under the same rules as Recorder's.
+type OpRecorder interface {
+	// RecordOpBegin marks thread tid invoking an abstract operation
+	// (kind/key/val are the dlin encoding; the machine does not
+	// interpret them).
+	RecordOpBegin(tid int, kind uint8, key, val uint64)
+	// RecordOpLin marks the thread's most recent write — necessarily the
+	// memory op recorded immediately before — as the operation's
+	// linearization point.
+	RecordOpLin(tid int)
+	// RecordOpEnd marks the operation's response with its outcome.
+	RecordOpEnd(tid int, ok bool, ret uint64)
+}
+
 // Phase-marker ids emitted by the workload harness. Replay uses them to
 // reconstruct the measured window's counter deltas.
 const (
@@ -51,6 +73,7 @@ func (s *System) perform(tid int, op isa.Op) (uint64, bool) {
 	if s.perf != nil {
 		s.perf.Start(perf.PhaseProtocol)
 	}
+	s.performSeq++
 	var v uint64
 	ok := true
 	switch op.Kind {

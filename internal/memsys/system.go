@@ -67,6 +67,15 @@ type thread struct {
 	// last recorder event; only maintained while a Recorder is attached.
 	recWork engine.Time
 
+	// lastStamp is the happens-before stamp of the thread's most recent
+	// write (zero without a tracker). Ctx.Linearize snapshots it into
+	// opLin/opLinSeq to mark an operation's linearization point; opOpen
+	// tracks whether an instrumented operation is in progress.
+	lastStamp model.Stamp
+	opLin     model.Stamp
+	opLinSeq  uint64
+	opOpen    bool
+
 	// Persistency bookkeeping shared by all mechanisms; mechanism-private
 	// state lives inside the mech.Mechanism implementations.
 	epochs  *persist.EpochCounter
@@ -116,8 +125,15 @@ type System struct {
 	obs *obs.Observer
 
 	// rec receives the memory-op stream at perform points; nil when the
-	// machine is not being recorded.
-	rec Recorder
+	// machine is not being recorded. opRec is rec's optional operation-
+	// history channel (type-asserted once at New).
+	rec   Recorder
+	opRec OpRecorder
+
+	// performSeq counts perform calls: a total order over all memory
+	// operations in the scheduler's global virtual-time order, used to
+	// order linearization points.
+	performSeq uint64
 
 	// perf is the host-side phase profiler; nil when disabled. Hot
 	// paths guard on the nil so a dark machine pays one branch per site.
@@ -144,6 +160,9 @@ func New(cfg Config) (*System, error) {
 		obs:         cfg.Obs,
 		rec:         cfg.Rec,
 		perf:        cfg.Perf,
+	}
+	if or, ok := cfg.Rec.(OpRecorder); ok {
+		s.opRec = or
 	}
 	if cfg.TrackHB {
 		s.tracker = model.NewTracker(cfg.Cores)

@@ -141,6 +141,87 @@ func (tr *Tracker) PersistedCount(crash engine.Time) (persisted, total uint64) {
 	return persisted, total
 }
 
+// HBNeed answers the write-level closure query "when does the last
+// happens-before predecessor of this write persist?" — the test behind
+// the durable-linearizability checker's acked-but-lost classification: a
+// write durable at t with Of(w) > t proves the durable write set is not
+// happens-before closed beneath w (an RP violation), whereas Of(w) <= t
+// means every cause of w is durable and any invisibility of its effect
+// is legal buffering. It snapshots per-thread running maxima of persist
+// times at construction, so each query is O(threads + same-address
+// chain) and the structure is safe for concurrent readers.
+type HBNeed struct {
+	tr *Tracker
+	// maxTo[t][s] is the latest persist time among thread t's writes
+	// 1..s (maxTo[t][0] = 0); argTo[t][s] the seq achieving it.
+	maxTo [][]engine.Time
+	argTo [][]uint64
+}
+
+// NewHBNeed builds the prefix-maximum snapshot. Call it once per sweep,
+// after the run completes (persist times are final).
+func (tr *Tracker) NewHBNeed() *HBNeed {
+	h := &HBNeed{
+		tr:    tr,
+		maxTo: make([][]engine.Time, len(tr.threads)),
+		argTo: make([][]uint64, len(tr.threads)),
+	}
+	for t := range tr.threads {
+		ts := &tr.threads[t]
+		m := make([]engine.Time, ts.seq+1)
+		a := make([]uint64, ts.seq+1)
+		for s := uint64(1); s <= ts.seq; s++ {
+			m[s], a[s] = m[s-1], a[s-1]
+			if p := ts.writes[s-1].persistedAt; p > m[s] {
+				m[s], a[s] = p, s
+			}
+		}
+		h.maxTo[t], h.argTo[t] = m, a
+	}
+	return h
+}
+
+// Of returns the latest persist time among w's happens-before
+// predecessor writes and a predecessor achieving it; (0, Stamp{}) when w
+// has none. The predecessor set follows HappensBefore: program order
+// into a release, the same-address chain (including, transitively, the
+// full prefix behind any release on it), and everything at or before an
+// acquired release of another thread.
+func (h *HBNeed) Of(w Stamp) (engine.Time, Stamp) {
+	tr := h.tr
+	rec := &tr.threads[w.Tid].writes[w.Seq-1]
+	var best engine.Time
+	var at Stamp
+	prefix := func(t int, upTo uint64) {
+		if upTo > 0 && h.maxTo[t][upTo] > best {
+			best, at = h.maxTo[t][upTo], Stamp{t, h.argTo[t][upTo]}
+		}
+	}
+	if rec.relIdx != 0 {
+		prefix(w.Tid, w.Seq-1)
+	} else {
+		for s := rec.prevSameAddr; s != 0; {
+			r := &tr.threads[w.Tid].writes[s-1]
+			if r.relIdx != 0 {
+				// A release on the chain pulls in its whole po-prefix.
+				prefix(w.Tid, s)
+				break
+			}
+			if r.persistedAt > best {
+				best, at = r.persistedAt, Stamp{w.Tid, s}
+			}
+			s = r.prevSameAddr
+		}
+	}
+	for t := range tr.threads {
+		k := rec.acq.Get(t)
+		if k != 0 {
+			prefix(t, tr.threads[t].relSeq[k-1])
+		}
+	}
+	return best, at
+}
+
 // HappensBefore reports whether write a happens-before write b under the
 // paper's RC rules (exposed for tests and tooling). It answers from the
 // same metadata the checker uses.

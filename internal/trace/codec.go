@@ -54,6 +54,15 @@ const (
 	recMark   = 0x13
 	recResult = 0x14
 	recEnd    = 0x15
+	// Op-history records carry the abstract data-structure operations
+	// (insert/delete/contains/enqueue/dequeue) bracketing the memory ops,
+	// for durable-linearizability checking. They are footer-class:
+	// excluded from the op-stream checksum and record count, so a
+	// history-carrying trace keeps the same stream identity as a plain
+	// recording of the same execution.
+	recOpBegin = 0x16
+	recOpLin   = 0x17
+	recOpEnd   = 0x18
 )
 
 // maxHeader bounds the header payload a reader will accept.

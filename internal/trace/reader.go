@@ -8,8 +8,10 @@ import (
 	"hash/crc32"
 	"io"
 
+	"lrp/internal/dlin"
 	"lrp/internal/engine"
 	"lrp/internal/isa"
+	"lrp/internal/model"
 )
 
 // Rec is one decoded trace record. Type selects which fields are
@@ -53,6 +55,25 @@ type Reader struct {
 	recs     uint64
 	embedded *EmbeddedResult
 	done     bool
+
+	// Op-history reconstruction. wseq counts each thread's dynamic
+	// writes (stores and successful CASes) so a recOpLin record can be
+	// rebuilt into the same model.Stamp a TrackHB replay of this trace
+	// assigns to that write; open holds each thread's in-flight abstract
+	// operation between its begin and end records.
+	hist *dlin.History
+	wseq []uint64
+	open []histOpen
+}
+
+// histOpen is one thread's in-flight abstract operation.
+type histOpen struct {
+	active bool
+	kind   dlin.Kind
+	key    uint64
+	val    uint64
+	lin    model.Stamp
+	linSeq uint64
 }
 
 // NewReader validates the file framing and header and positions the
@@ -95,6 +116,8 @@ func NewReader(src io.Reader) (*Reader, error) {
 		zr:   zr,
 		tr:   teeByteReader{r: bufio.NewReader(zr)},
 		last: make([]int64, h.Config.Cores),
+		wseq: make([]uint64, h.Config.Cores),
+		open: make([]histOpen, h.Config.Cores),
 	}, nil
 }
 
@@ -114,6 +137,16 @@ func (r *Reader) Ops() uint64 { return r.ops }
 
 // Records is the number of op-stream records read so far.
 func (r *Reader) Records() uint64 { return r.recs }
+
+// History returns the abstract operation history carried by the trace,
+// nil when it was recorded without history instrumentation. Complete
+// once the stream has been fully read. Linearization stamps are rebuilt
+// positionally — Stamp{tid, k} is thread tid's k-th dynamic write — which
+// is exactly the stamp a Config.TrackHB replay of this trace assigns, so
+// the history checks directly against the replay machine's tracker.
+// Invocation and response times are not carried by the trace and read as
+// zero.
+func (r *Reader) History() *dlin.History { return r.hist }
 
 func (r *Reader) uvarint() (uint64, error) {
 	v, err := binary.ReadUvarint(&r.tr)
@@ -187,6 +220,15 @@ func (r *Reader) next() (rec Rec, footer bool, err error) {
 	case t == recResult:
 		rec.Type = RecResult
 		err = r.decodeResult()
+		footer = true
+	case t == recOpBegin:
+		err = r.decodeOpBegin()
+		footer = true
+	case t == recOpLin:
+		err = r.decodeOpLin()
+		footer = true
+	case t == recOpEnd:
+		err = r.decodeOpEnd()
 		footer = true
 	case t == recEnd:
 		rec.Type = RecEnd
@@ -272,6 +314,85 @@ func (r *Reader) decodeOp(t byte, rec *Rec) error {
 		return fmt.Errorf("trace: %w", err)
 	}
 	r.ops++
+	if rec.Op.Kind == isa.Store || (rec.Op.Kind == isa.CAS && rec.OK) {
+		r.wseq[rec.TID]++
+	}
+	return nil
+}
+
+func (r *Reader) decodeOpBegin() error {
+	tid, err := r.tid()
+	if err != nil {
+		return err
+	}
+	kb, err := r.tr.ReadByte()
+	if err != nil {
+		return err
+	}
+	kind := dlin.Kind(kb)
+	if kind < dlin.OpInsert || kind > dlin.OpDequeue {
+		return fmt.Errorf("trace: bad op-history kind %d", kb)
+	}
+	key, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	val, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if r.open[tid].active {
+		return fmt.Errorf("trace: thread %d begins an operation inside an open one", tid)
+	}
+	if r.hist == nil {
+		r.hist = &dlin.History{Structure: r.h.Spec.Structure}
+	}
+	r.open[tid] = histOpen{active: true, kind: kind, key: key, val: val}
+	return nil
+}
+
+func (r *Reader) decodeOpLin() error {
+	tid, err := r.tid()
+	if err != nil {
+		return err
+	}
+	o := &r.open[tid]
+	if !o.active {
+		return fmt.Errorf("trace: thread %d linearizes with no open operation", tid)
+	}
+	if r.wseq[tid] == 0 {
+		return fmt.Errorf("trace: thread %d linearizes before its first write", tid)
+	}
+	o.lin = model.Stamp{Tid: tid, Seq: r.wseq[tid]}
+	o.linSeq = r.ops
+	return nil
+}
+
+func (r *Reader) decodeOpEnd() error {
+	tid, err := r.tid()
+	if err != nil {
+		return err
+	}
+	okb, err := r.tr.ReadByte()
+	if err != nil {
+		return err
+	}
+	if okb > 1 {
+		return fmt.Errorf("trace: bad op-history outcome byte %d", okb)
+	}
+	ret, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	o := &r.open[tid]
+	if !o.active {
+		return fmt.Errorf("trace: thread %d ends an operation it never began", tid)
+	}
+	r.hist.Ops = append(r.hist.Ops, dlin.Op{
+		Tid: tid, Kind: o.kind, Key: o.key, Val: o.val,
+		OK: okb == 1, Ret: ret, Lin: o.lin, LinSeq: o.linSeq,
+	})
+	*o = histOpen{}
 	return nil
 }
 
@@ -336,6 +457,11 @@ func (r *Reader) decodeEnd() error {
 	}
 	if want := binary.LittleEndian.Uint32(cb[:]); want != r.crc {
 		return fmt.Errorf("trace: stream checksum %08x, want %08x", r.crc, want)
+	}
+	for tid := range r.open {
+		if r.open[tid].active {
+			return fmt.Errorf("trace: thread %d has an unfinished op-history operation at end of stream", tid)
+		}
 	}
 	// The end record must be the last: a clean gzip EOF must follow
 	// (this also forces the gzip footer checks to run).

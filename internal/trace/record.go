@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"lrp/internal/dlin"
 	"lrp/internal/memsys"
 	"lrp/internal/workload"
 )
@@ -36,4 +37,39 @@ func Record(cfg memsys.Config, spec workload.Spec, dst io.Writer) (*workload.Res
 		return nil, nil, Summary{}, err
 	}
 	return res, sys, w.Summary(), nil
+}
+
+// RecordHistory is Record plus abstract-operation history capture: the
+// workload runs through the history-instrumented wrappers, the trace
+// gains footer-class op-history records, and the live run's Recoverable
+// handle and history come back alongside the usual outputs. The op
+// stream — and so the checksum — is identical to what Record captures
+// for the same (cfg, spec): op-history records ride outside the
+// checksummed stream.
+func RecordHistory(cfg memsys.Config, spec workload.Spec, dst io.Writer) (*workload.Result, *memsys.System, workload.Recoverable, *dlin.History, Summary, error) {
+	fail := func(err error) (*workload.Result, *memsys.System, workload.Recoverable, *dlin.History, Summary, error) {
+		return nil, nil, nil, nil, Summary{}, err
+	}
+	if cfg.Rec != nil {
+		return fail(fmt.Errorf("trace: config already carries a recorder"))
+	}
+	if cfg.Faults.Enabled() {
+		return fail(fmt.Errorf("trace: fault injection cannot be recorded (traces capture the fault-free op stream)"))
+	}
+	w, err := NewWriter(dst, HeaderFor(cfg, spec))
+	if err != nil {
+		return fail(err)
+	}
+	w.SetObserver(cfg.Obs)
+	cfg.Rec = w
+	res, sys, rec, h, err := workload.RunRecoverableHist(cfg, spec)
+	if err != nil {
+		return fail(err)
+	}
+	sys.FlushRecorder()
+	w.SetResult(EmbedResult(res))
+	if err := w.Close(); err != nil {
+		return fail(err)
+	}
+	return res, sys, rec, h, w.Summary(), nil
 }

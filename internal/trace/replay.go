@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"lrp/internal/dlin"
 	"lrp/internal/engine"
 	"lrp/internal/isa"
 	"lrp/internal/memsys"
@@ -56,6 +57,11 @@ type Replayed struct {
 	// Sys is the replay machine, for post-mortem inspection (crash
 	// analysis when TrackHB was set).
 	Sys *memsys.System
+	// History is the abstract operation history carried by the trace
+	// (nil if it was recorded without history instrumentation), with
+	// linearization stamps rebuilt to match Sys's tracker — see
+	// Reader.History.
+	History *dlin.History
 }
 
 // Replay drives a fresh machine directly from the trace in src: no
@@ -151,6 +157,7 @@ func Replay(src io.Reader, o ReplayOpts) (*Replayed, error) {
 	out.Ops = r.Ops()
 	out.Time = sys.Time()
 	out.Checksum = r.Checksum()
+	out.History = r.History()
 	if o.Obs != nil {
 		elapsed := time.Since(hostStart)
 		rate := uint64(0)

@@ -185,6 +185,43 @@ func (w *Writer) RecordMark(id uint8) {
 	w.flush()
 }
 
+// RecordOpBegin implements memsys.OpRecorder: an abstract data-structure
+// operation opens on thread tid. Op-history records are footer-class —
+// excluded from the stream checksum and record count — so recording with
+// history instrumentation does not change the trace's op-stream identity.
+func (w *Writer) RecordOpBegin(tid int, kind uint8, key, val uint64) {
+	w.buf = append(w.buf, recOpBegin)
+	w.buf = binary.AppendUvarint(w.buf, uint64(tid))
+	w.buf = append(w.buf, kind)
+	w.buf = binary.AppendUvarint(w.buf, key)
+	w.buf = binary.AppendUvarint(w.buf, val)
+	w.flushFooter()
+}
+
+// RecordOpLin implements memsys.OpRecorder: the operation open on tid
+// linearized at the thread's most recent write. The stamp itself is not
+// stored; its stream position (immediately after the linearizing op
+// record) lets the reader rebuild it by counting tid's writes.
+func (w *Writer) RecordOpLin(tid int) {
+	w.buf = append(w.buf, recOpLin)
+	w.buf = binary.AppendUvarint(w.buf, uint64(tid))
+	w.flushFooter()
+}
+
+// RecordOpEnd implements memsys.OpRecorder: the operation open on tid
+// returned (ok, ret).
+func (w *Writer) RecordOpEnd(tid int, ok bool, ret uint64) {
+	w.buf = append(w.buf, recOpEnd)
+	w.buf = binary.AppendUvarint(w.buf, uint64(tid))
+	b := byte(0)
+	if ok {
+		b = 1
+	}
+	w.buf = append(w.buf, b)
+	w.buf = binary.AppendUvarint(w.buf, ret)
+	w.flushFooter()
+}
+
 // Close writes the embedded result (if set) and the end record, then
 // flushes the compressed stream. It reports the first error from any
 // point of the recording. The underlying writer is not closed.

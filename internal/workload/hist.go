@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"lrp/internal/dlin"
+	"lrp/internal/lfds"
+	"lrp/internal/memsys"
+)
+
+// histSet wraps a Set so every call is bracketed with Ctx.OpBegin/OpEnd
+// and appended to an operation history: the abstract semantics, the
+// invocation/response times, and the linearization stamp the structure
+// captured with Ctx.Linearize. The wrapper adds no simulated cycles, so
+// an instrumented run's timing, stats, and recorded op stream are
+// identical to the uninstrumented run's.
+//
+// The history slice is shared across worker coroutines without locking:
+// the scheduler holds the machine single-threaded, and its channel
+// handoffs order every append.
+type histSet struct {
+	set lfds.Set
+	h   *dlin.History
+}
+
+func (s *histSet) Name() string { return s.set.Name() }
+
+func (s *histSet) Insert(c *memsys.Ctx, key, val uint64) bool {
+	inv := c.Now()
+	c.OpBegin(uint8(dlin.OpInsert), key, val)
+	ok := s.set.Insert(c, key, val)
+	lin, seq := c.OpEnd(ok, 0)
+	s.h.Ops = append(s.h.Ops, dlin.Op{
+		Tid: c.ThreadID(), Kind: dlin.OpInsert, Key: key, Val: val, OK: ok,
+		Invoke: inv, Respond: c.Now(), Lin: lin, LinSeq: seq,
+	})
+	return ok
+}
+
+func (s *histSet) Delete(c *memsys.Ctx, key uint64) bool {
+	inv := c.Now()
+	c.OpBegin(uint8(dlin.OpDelete), key, 0)
+	ok := s.set.Delete(c, key)
+	lin, seq := c.OpEnd(ok, 0)
+	s.h.Ops = append(s.h.Ops, dlin.Op{
+		Tid: c.ThreadID(), Kind: dlin.OpDelete, Key: key, OK: ok,
+		Invoke: inv, Respond: c.Now(), Lin: lin, LinSeq: seq,
+	})
+	return ok
+}
+
+func (s *histSet) Contains(c *memsys.Ctx, key uint64) bool {
+	inv := c.Now()
+	c.OpBegin(uint8(dlin.OpContains), key, 0)
+	ok := s.set.Contains(c, key)
+	lin, seq := c.OpEnd(ok, 0)
+	s.h.Ops = append(s.h.Ops, dlin.Op{
+		Tid: c.ThreadID(), Kind: dlin.OpContains, Key: key, OK: ok,
+		Invoke: inv, Respond: c.Now(), Lin: lin, LinSeq: seq,
+	})
+	return ok
+}
+
+// histQueue is histSet's counterpart for the MS queue.
+type histQueue struct {
+	q *lfds.Queue
+	h *dlin.History
+}
+
+func (q *histQueue) enqueue(c *memsys.Ctx, val uint64) {
+	inv := c.Now()
+	c.OpBegin(uint8(dlin.OpEnqueue), 0, val)
+	q.q.Enqueue(c, val)
+	lin, seq := c.OpEnd(true, 0)
+	q.h.Ops = append(q.h.Ops, dlin.Op{
+		Tid: c.ThreadID(), Kind: dlin.OpEnqueue, Val: val, OK: true,
+		Invoke: inv, Respond: c.Now(), Lin: lin, LinSeq: seq,
+	})
+}
+
+func (q *histQueue) dequeue(c *memsys.Ctx) (uint64, bool) {
+	inv := c.Now()
+	c.OpBegin(uint8(dlin.OpDequeue), 0, 0)
+	v, ok := q.q.Dequeue(c)
+	lin, seq := c.OpEnd(ok, v)
+	q.h.Ops = append(q.h.Ops, dlin.Op{
+		Tid: c.ThreadID(), Kind: dlin.OpDequeue, Ret: v, OK: ok,
+		Invoke: inv, Respond: c.Now(), Lin: lin, LinSeq: seq,
+	})
+	return v, ok
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"lrp/internal/dlin"
 	"lrp/internal/engine"
 	"lrp/internal/lfds"
 	"lrp/internal/memsys"
@@ -133,6 +134,22 @@ func Run(cfg memsys.Config, spec Spec) (*Result, *memsys.System, error) {
 // RunRecoverable is Run plus a Recoverable handle bound to the run's
 // structure anchors, for crash-image recovery walks after the fact.
 func RunRecoverable(cfg memsys.Config, spec Spec) (*Result, *memsys.System, Recoverable, error) {
+	return runRecoverable(cfg, spec, nil)
+}
+
+// RunRecoverableHist is RunRecoverable plus a recorded operation history:
+// every structure call (warm-up fill included) is logged with its
+// abstract semantics, invocation/response times, and linearization
+// stamp, for durable-linearizability checking over crash boundaries. The
+// instrumentation adds no simulated cycles, so the Result is identical
+// to RunRecoverable's.
+func RunRecoverableHist(cfg memsys.Config, spec Spec) (*Result, *memsys.System, Recoverable, *dlin.History, error) {
+	h := &dlin.History{Structure: spec.Structure}
+	res, sys, rec, err := runRecoverable(cfg, spec, h)
+	return res, sys, rec, h, err
+}
+
+func runRecoverable(cfg memsys.Config, spec Spec, h *dlin.History) (*Result, *memsys.System, Recoverable, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
@@ -145,12 +162,14 @@ func RunRecoverable(cfg memsys.Config, spec Spec) (*Result, *memsys.System, Reco
 	}
 
 	if spec.Structure == "queue" {
-		return runQueue(sys, spec)
+		return runQueue(sys, spec, h)
 	}
-	return runSet(sys, spec)
+	return runSet(sys, spec, h)
 }
 
-func buildSet(sys *memsys.System, spec Spec) lfds.Set {
+// newSet allocates a set structure's anchors without running any
+// initialization program (pure static-arena allocation, no stores).
+func newSet(sys *memsys.System, spec Spec) lfds.Set {
 	switch spec.Structure {
 	case "linkedlist":
 		return lfds.NewLinkedList(sys)
@@ -164,17 +183,43 @@ func buildSet(sys *memsys.System, spec Spec) lfds.Set {
 		}
 		return lfds.NewHashMap(sys, b)
 	case "bstree":
-		t := lfds.NewBST(sys)
-		sys.RunOne(func(c *memsys.Ctx) { t.Init(c) })
-		return t
+		return lfds.NewBST(sys)
 	case "skiplist":
 		return lfds.NewSkipList(sys)
 	}
 	panic("unreachable: spec validated")
 }
 
-func runSet(sys *memsys.System, spec Spec) (*Result, *memsys.System, Recoverable, error) {
-	set := buildSet(sys, spec)
+func buildSet(sys *memsys.System, spec Spec) lfds.Set {
+	set := newSet(sys, spec)
+	if t, ok := set.(*lfds.BST); ok {
+		sys.RunOne(func(c *memsys.Ctx) { t.Init(c) })
+	}
+	return set
+}
+
+// AnchorsFor rebuilds a Recoverable handle for a machine whose run is
+// driven externally — trace replay. Structure constructors only allocate
+// static-arena anchors (no stores), and the arena hands out the same
+// addresses in the same call order on every machine, so the handle binds
+// to the addresses the recorded run used; the recorded op stream itself
+// carries all initialization stores. Call it once per replayed machine.
+func AnchorsFor(sys *memsys.System, spec Spec) (Recoverable, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Structure == "queue" {
+		return recoverableQueue{q: lfds.NewQueue(sys)}, nil
+	}
+	return recoverableSet{name: spec.Structure, set: newSet(sys, spec)}, nil
+}
+
+func runSet(sys *memsys.System, spec Spec, h *dlin.History) (*Result, *memsys.System, Recoverable, error) {
+	built := buildSet(sys, spec)
+	var set lfds.Set = built
+	if h != nil {
+		set = &histSet{set: built, h: h}
+	}
 	kr := spec.keyRange()
 
 	// Warm-up fill: every even key, split across the workers, so the
@@ -232,17 +277,23 @@ func runSet(sys *memsys.System, spec Spec) (*Result, *memsys.System, Recoverable
 	sys.Mark(memsys.MarkWindowEnd)
 
 	return collect(spec, sys, start, end, sysBefore, nvmBefore), sys,
-		recoverableSet{name: spec.Structure, set: set}, nil
+		recoverableSet{name: spec.Structure, set: built}, nil
 }
 
-func runQueue(sys *memsys.System, spec Spec) (*Result, *memsys.System, Recoverable, error) {
+func runQueue(sys *memsys.System, spec Spec, h *dlin.History) (*Result, *memsys.System, Recoverable, error) {
 	q := lfds.NewQueue(sys)
 	sys.RunOne(func(c *memsys.Ctx) { q.Init(c) })
+
+	hq := &histQueue{q: q, h: h}
+	enqueue, dequeue := q.Enqueue, q.Dequeue
+	if h != nil {
+		enqueue, dequeue = hq.enqueue, hq.dequeue
+	}
 
 	// Warm-up: fill InitialSize elements from thread 0.
 	sys.RunOne(func(c *memsys.Ctx) {
 		for n := 0; n < spec.InitialSize; n++ {
-			q.Enqueue(c, uint64(n)+1)
+			enqueue(c, uint64(n)+1)
 		}
 	})
 	sys.SyncClocks()
@@ -261,10 +312,10 @@ func runQueue(sys *memsys.System, spec Spec) (*Result, *memsys.System, Recoverab
 			for n := 0; n < spec.OpsPerThread; n++ {
 				c.Work(spec.opWork())
 				if r.Bool() {
-					q.Enqueue(c, uint64(i+1)<<32|seq)
+					enqueue(c, uint64(i+1)<<32|seq)
 					seq++
 				} else {
-					q.Dequeue(c)
+					dequeue(c)
 				}
 			}
 		}

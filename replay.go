@@ -39,6 +39,18 @@ func RecordTrace(cfg Config, spec Spec, dst io.Writer) (*Result, *Machine, Trace
 	return trace.Record(cfg, spec, dst)
 }
 
+// RecordTraceHist is RecordTrace plus abstract operation-history
+// capture: the workload runs through the history-instrumented wrappers
+// and the trace gains footer-class op-history records, so a later replay
+// carries the history back out (Replayed.History) for
+// durable-linearizability checking without the original process. The op
+// stream and checksum are identical to RecordTrace's for the same
+// (cfg, spec); the live run's Recoverable handle and history return
+// alongside.
+func RecordTraceHist(cfg Config, spec Spec, dst io.Writer) (*Result, *Machine, Recoverable, *OpHistory, TraceSummary, error) {
+	return trace.RecordHistory(cfg, spec, dst)
+}
+
 // ReplayTrace replays a recorded trace from src on a fresh machine —
 // under the recorded mechanism by default, or any other via o. Loads
 // and CAS outcomes are verified against the recording at every op.

@@ -188,6 +188,77 @@ func TestReplayComparisonDeterministic(t *testing.T) {
 	}
 }
 
+// TestTraceHistoryRoundTrip: the trace is a complete durable-
+// linearizability witness. Record a history-instrumented run, replay the
+// trace with tracking on in a fresh process-equivalent (no state from
+// the recording machine), and the replayed history must match the live
+// one op for op; a recovery handle rebuilt from the spec alone must then
+// support a full dlin sweep over the replay machine, as clean as the
+// live run's.
+func TestTraceHistoryRoundTrip(t *testing.T) {
+	cfg := tinyConfig(LRP)
+	spec := Spec{Structure: "hashmap", Threads: 2, InitialSize: 32, OpsPerThread: 20, Seed: 5}
+	var buf bytes.Buffer
+	live, m, rec, hist, sum, err := RecordTraceHist(cfg, spec, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live == nil || hist == nil || sum.Ops == 0 {
+		t.Fatalf("incomplete recording: live=%v hist=%v sum=%+v", live, hist, sum)
+	}
+	if hist.Updates() == 0 {
+		t.Fatal("live history recorded no updates")
+	}
+
+	// The live machine sweeps clean (baseline for the replay comparison).
+	liveSweep, err := SweepCrash(m, SweepOpts{Rec: rec, Hist: hist, Workers: 2, Seed: spec.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !liveSweep.Consistent() || liveSweep.DLinChecked == 0 {
+		t.Fatalf("live sweep not clean: %+v", liveSweep)
+	}
+
+	rp, err := ReplayTrace(bytes.NewReader(buf.Bytes()), ReplayOpts{TrackHB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.History == nil {
+		t.Fatal("replay of a history-instrumented trace carries no history")
+	}
+	if got, want := len(rp.History.Ops), len(hist.Ops); got != want {
+		t.Fatalf("replayed history has %d ops, live %d", got, want)
+	}
+	if rp.History.Structure != hist.Structure {
+		t.Fatalf("replayed history structure %q, live %q", rp.History.Structure, hist.Structure)
+	}
+	for i, o := range rp.History.Ops {
+		l := hist.Ops[i]
+		if o.Tid != l.Tid || o.Kind != l.Kind || o.Key != l.Key || o.Val != l.Val ||
+			o.OK != l.OK || o.Ret != l.Ret || o.Lin != l.Lin || o.LinSeq != l.LinSeq {
+			t.Fatalf("history op %d differs after the trace round trip:\n got %+v\nwant %+v", i, o, l)
+		}
+	}
+
+	// The replay machine plus the carried history support the same sweep:
+	// the recovery handle is rebuilt from the spec (the trace drives raw
+	// memory ops; structure anchors are deterministic static allocations).
+	rec2, err := RecoverableFor(rp.Sys, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := SweepCrash(rp.Sys, SweepOpts{Rec: rec2, Hist: rp.History, Workers: 2, Seed: spec.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sweep.Consistent() {
+		t.Fatalf("replayed sweep found violations: %+v (first: %+v)", sweep, sweep.DLinViolations)
+	}
+	if sweep.DLinChecked != sweep.Boundaries || sweep.DLinChecked == 0 {
+		t.Fatalf("replayed sweep checked %d of %d boundaries", sweep.DLinChecked, sweep.Boundaries)
+	}
+}
+
 // TestRecordReplayPublicAPI: the README/TRACES.md workflow through the
 // public API — record live, replay, verify, re-record, diff.
 func TestRecordReplayPublicAPI(t *testing.T) {
