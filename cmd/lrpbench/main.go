@@ -4,7 +4,7 @@
 // Run the benchmark grid (workload × mechanism × threads at pinned seeds
 // and scales) and write a schema-versioned BENCH_*.json:
 //
-//	lrpbench -out BENCH_0.json
+//	lrpbench -out BENCH_1.json
 //	lrpbench -short -reps 3 -out bench_pr.json     # per-PR smoke grid
 //
 // Each cell runs the identical simulation -reps times (the seed pins the
@@ -47,7 +47,7 @@ func main() {
 		short     = flag.Bool("short", false, "run the reduced per-PR smoke grid (a strict subset of the full grid's cells)")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all five; -short: linkedlist,hashmap)")
 		mechs     = flag.String("mechs", "", "comma-separated mechanism subset: "+strings.Join(lrp.MechanismNames(), "|"))
-		threads   = flag.String("threads", "", "comma-separated worker counts (default: 8)")
+		threads   = flag.String("threads", "", "comma-separated worker counts (default: 1,2,8)")
 		ops       = flag.Int("ops", 60, "operations per thread in the measured window")
 		reps      = flag.Int("reps", 5, "repetitions per cell (median/MAD noise control)")
 		seed      = flag.Uint64("seed", 7, "deterministic seed pinning every cell's simulated work")
@@ -57,6 +57,7 @@ func main() {
 		threshold = flag.Float64("threshold", 0.10, "with -compare: minimum relative delta that can count as a regression")
 		noiseMult = flag.Float64("noise-mult", 3, "with -compare: noise floor multiplier over the files' combined MAD")
 		warnOnly  = flag.Bool("warn-only", false, "with -compare: report regressions but exit 0")
+		noCal     = flag.Bool("no-calibrate", false, "with -compare: judge time metrics on absolute deltas instead of dividing out the grid-wide host-speed ratio")
 	)
 	flag.Parse()
 
@@ -67,8 +68,9 @@ func main() {
 			os.Exit(2)
 		}
 		runCompare(files[0], files[1], perf.CompareOpts{
-			Threshold: *threshold,
-			NoiseMult: *noiseMult,
+			Threshold:   *threshold,
+			NoiseMult:   *noiseMult,
+			NoCalibrate: *noCal,
 		}, *jsonOut, *warnOnly)
 		return
 	}

@@ -1,0 +1,135 @@
+package engine
+
+// Leaderboard is the scheduling kernel's index of live thread clocks: a
+// binary min-heap ordered by (clock, tid), so the root is always the
+// thread the virtual-time scheduler must grant next — smallest clock,
+// ties broken by smaller thread id, exactly the order the historical
+// linear scan produced. The heap entries use a struct-of-arrays layout
+// (parallel clock/tid slices plus a tid→slot index) so the comparisons a
+// grant performs walk dense cache lines instead of chasing per-thread
+// structs.
+//
+// All storage is retained across Reset, so a Leaderboard embedded in a
+// long-lived machine allocates only on first use (and when the core
+// count grows).
+type Leaderboard struct {
+	clocks []Time  // heap-ordered; clocks[i] pairs with tids[i]
+	tids   []int32 // heap-ordered thread ids
+	slot   []int32 // tid → heap index, -1 when the tid is not enrolled
+}
+
+// Reset prepares the leaderboard for threads 0..n-1, all unenrolled.
+func (lb *Leaderboard) Reset(n int) {
+	lb.clocks = lb.clocks[:0]
+	lb.tids = lb.tids[:0]
+	if cap(lb.slot) < n {
+		lb.slot = make([]int32, n)
+	}
+	lb.slot = lb.slot[:n]
+	for i := range lb.slot {
+		lb.slot[i] = -1
+	}
+}
+
+// Len returns the number of enrolled threads.
+func (lb *Leaderboard) Len() int { return len(lb.tids) }
+
+// Push enrolls thread tid at the given clock. The tid must be within the
+// Reset range and not currently enrolled.
+func (lb *Leaderboard) Push(tid int, clock Time) {
+	if lb.slot[tid] != -1 {
+		panic("engine: Leaderboard.Push of enrolled tid")
+	}
+	i := len(lb.tids)
+	lb.clocks = append(lb.clocks, clock)
+	lb.tids = append(lb.tids, int32(tid))
+	lb.slot[tid] = int32(i)
+	lb.up(i)
+}
+
+// Peek returns the minimum (clock, tid) entry without removing it.
+// ok is false when the leaderboard is empty.
+func (lb *Leaderboard) Peek() (tid int, clock Time, ok bool) {
+	if len(lb.tids) == 0 {
+		return -1, 0, false
+	}
+	return int(lb.tids[0]), lb.clocks[0], true
+}
+
+// PopMin removes and returns the minimum (clock, tid) entry. The
+// leaderboard must be non-empty.
+func (lb *Leaderboard) PopMin() (tid int, clock Time) {
+	t, c := lb.tids[0], lb.clocks[0]
+	last := len(lb.tids) - 1
+	lb.swap(0, last)
+	lb.clocks = lb.clocks[:last]
+	lb.tids = lb.tids[:last]
+	lb.slot[t] = -1
+	if last > 0 {
+		lb.down(0)
+	}
+	return int(t), c
+}
+
+// Remove unenrolls thread tid wherever it sits in the heap. A no-op when
+// the tid is not enrolled.
+func (lb *Leaderboard) Remove(tid int) {
+	i := lb.slot[tid]
+	if i == -1 {
+		return
+	}
+	last := len(lb.tids) - 1
+	lb.swap(int(i), last)
+	lb.clocks = lb.clocks[:last]
+	lb.tids = lb.tids[:last]
+	lb.slot[tid] = -1
+	if int(i) < last {
+		lb.down(int(i))
+		lb.up(int(i))
+	}
+}
+
+// less orders heap entries by (clock, tid).
+func (lb *Leaderboard) less(i, j int) bool {
+	if lb.clocks[i] != lb.clocks[j] {
+		return lb.clocks[i] < lb.clocks[j]
+	}
+	return lb.tids[i] < lb.tids[j]
+}
+
+func (lb *Leaderboard) swap(i, j int) {
+	lb.clocks[i], lb.clocks[j] = lb.clocks[j], lb.clocks[i]
+	lb.tids[i], lb.tids[j] = lb.tids[j], lb.tids[i]
+	lb.slot[lb.tids[i]] = int32(i)
+	lb.slot[lb.tids[j]] = int32(j)
+}
+
+func (lb *Leaderboard) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !lb.less(i, parent) {
+			break
+		}
+		lb.swap(i, parent)
+		i = parent
+	}
+}
+
+func (lb *Leaderboard) down(i int) {
+	n := len(lb.tids)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && lb.less(r, l) {
+			min = r
+		}
+		if !lb.less(min, i) {
+			return
+		}
+		lb.swap(i, min)
+		i = min
+	}
+}

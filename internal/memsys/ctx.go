@@ -1,8 +1,6 @@
 package memsys
 
 import (
-	"fmt"
-
 	"lrp/internal/engine"
 	"lrp/internal/isa"
 	"lrp/internal/model"
@@ -10,9 +8,11 @@ import (
 )
 
 // Program is the body of one simulated hardware thread. It runs as a
-// coroutine: every Ctx memory operation hands control back to the
-// scheduler, which always resumes the thread with the smallest clock, so
-// memory operations execute in global virtual-time order.
+// coroutine under the event-driven kernel in sched.go: every Ctx memory
+// operation checks the thread's clock against the grant's run-ahead
+// horizon before performing, parking back into the scheduler only when
+// another thread's clock has become smaller, so memory operations execute
+// in global virtual-time order.
 type Program func(ctx *Ctx)
 
 // Ctx is a thread's handle to the simulated machine. It is valid only
@@ -23,14 +23,13 @@ type Ctx struct {
 	tid int
 
 	resume chan struct{}
-	yield  chan struct{}
 }
 
 // ThreadID returns the hardware thread id.
 func (c *Ctx) ThreadID() int { return c.tid }
 
 // Now returns the thread's current clock.
-func (c *Ctx) Now() engine.Time { return c.sys.threads[c.tid].clock }
+func (c *Ctx) Now() engine.Time { return c.sys.clocks[c.tid] }
 
 // Rand returns the thread's deterministic PRNG.
 func (c *Ctx) Rand() *engine.Rand { return c.sys.threads[c.tid].rng }
@@ -41,25 +40,42 @@ func (c *Ctx) Rand() *engine.Rand { return c.sys.threads[c.tid].rng }
 func (c *Ctx) Alloc(nwords int) isa.Addr { return c.sys.threads[c.tid].arena.Alloc(nwords) }
 
 // Work advances the thread's clock by n cycles of non-memory computation.
-func (c *Ctx) Work(n engine.Time) {
-	if n < 0 {
-		panic("memsys: negative work")
-	}
-	th := c.sys.threads[c.tid]
-	th.clock += n
-	if c.sys.rec != nil {
-		th.recWork += n
-	}
-}
+func (c *Ctx) Work(n engine.Time) { c.sys.advance(c.tid, n) }
 
-// handoff returns control to the scheduler and blocks until this thread
-// is the global minimum-clock runnable thread again. Every memory
-// operation hands off *before* performing, so operations execute in
-// nondecreasing global virtual-time order even when a thread advanced its
-// clock with Work between operations.
+// handoff gates one memory operation on the thread being the global
+// minimum-clock runnable thread. Every memory operation gates *before*
+// performing, so operations execute in nondecreasing global (clock, tid)
+// order even when a thread advanced its clock with Work between
+// operations.
+//
+// Fast path: while the thread's (clock, tid) orders before the grant's
+// run-ahead horizon — the runner-up thread published by the scheduler —
+// a rerun of the scheduler would only grant this thread again, so it
+// keeps executing with no goroutine switch at all. Only when the horizon
+// is crossed does the thread park: it re-enrolls itself at its new clock,
+// grants the new minimum directly (one goroutine switch, no bounce
+// through a central scheduler goroutine), and blocks until a later grant
+// hands the machine back.
 func (c *Ctx) handoff() {
-	c.yield <- struct{}{}
+	s := c.sys
+	k := &s.sched
+	cl := s.clocks[c.tid]
+	if cl < k.horizon || (cl == k.horizon && c.tid < k.horizonTid) {
+		k.runAhead++
+		return
+	}
+	// The grant condition failed, so some other live thread orders before
+	// us — the leaderboard is non-empty and the pop below cannot return
+	// this thread again.
+	if s.perf != nil {
+		s.perf.Start(perf.PhaseScheduler)
+	}
+	k.lb.Push(c.tid, cl)
+	k.grantNext()
 	<-c.resume
+	if s.perf != nil {
+		s.perf.End()
+	}
 }
 
 // Load performs a plain load.
@@ -157,77 +173,6 @@ func (c *Ctx) Exec(op isa.Op) (uint64, bool) {
 	return c.sys.perform(c.tid, op)
 }
 
-// Run executes one program per hardware thread, interleaving their memory
-// operations deterministically in virtual-time order (ties broken by
-// thread id). It returns the execution time: the maximum thread clock.
-// Run may be called multiple times; machine state persists between calls,
-// which is how workloads separate their warm-up fill from the measured
-// window.
-func (s *System) Run(progs []Program) engine.Time {
-	if len(progs) > len(s.threads) {
-		panic(fmt.Sprintf("memsys: %d programs for %d cores", len(progs), len(s.threads)))
-	}
-	n := len(progs)
-	ctxs := make([]*Ctx, n)
-	running := make([]bool, n)
-	for i := 0; i < n; i++ {
-		ctxs[i] = &Ctx{
-			sys:    s,
-			tid:    i,
-			resume: make(chan struct{}),
-			yield:  make(chan struct{}),
-		}
-		s.threads[i].done = false
-	}
-	// Launch the coroutines; each waits for its first grant.
-	for i := 0; i < n; i++ {
-		go func(i int) {
-			<-ctxs[i].resume
-			progs[i](ctxs[i])
-			s.threads[i].done = true
-			ctxs[i].yield <- struct{}{}
-		}(i)
-		running[i] = true
-	}
-	// Scheduler loop: always grant the minimum-clock live thread. The
-	// perf region covers only the pick-next bookkeeping — the granted
-	// thread's own work is attributed by the regions inside perform.
-	for {
-		if s.perf != nil {
-			s.perf.Start(perf.PhaseScheduler)
-		}
-		best := -1
-		var bestClock engine.Time
-		for i := 0; i < n; i++ {
-			if !running[i] {
-				continue
-			}
-			if best == -1 || s.threads[i].clock < bestClock {
-				best = i
-				bestClock = s.threads[i].clock
-			}
-		}
-		if s.perf != nil {
-			s.perf.End()
-		}
-		if best == -1 {
-			break
-		}
-		ctxs[best].resume <- struct{}{}
-		<-ctxs[best].yield
-		if s.threads[best].done {
-			running[best] = false
-		}
-	}
-	// Trailing compute after a thread's last operation still moves the
-	// machine time; hand it to the recorder so replay reproduces it.
-	s.flushRecWork()
-	return s.Time()
-}
-
-// RunOne is a convenience wrapper running a single program on thread 0.
-func (s *System) RunOne(p Program) engine.Time { return s.Run([]Program{p}) }
-
 // Drain flushes every buffered persist (per-thread mechanism state plus
 // dirty LLC data under NOP), advancing each thread's clock past the
 // flush. A clean shutdown calls this so the durable image converges to
@@ -238,7 +183,7 @@ func (s *System) Drain() engine.Time {
 		s.rec.RecordDrain()
 	}
 	for _, th := range s.threads {
-		th.clock = s.mech.Drain(th.id, th.clock)
+		s.clocks[th.id] = s.mech.Drain(th.id, s.clocks[th.id])
 	}
 	if s.mech.LLCEvictPersists() {
 		now := s.Time()
@@ -264,7 +209,7 @@ func (s *System) SyncClocks() {
 		s.rec.RecordSync()
 	}
 	max := s.Time()
-	for _, th := range s.threads {
-		th.clock = max
+	for i := range s.clocks {
+		s.clocks[i] = max
 	}
 }

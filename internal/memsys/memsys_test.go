@@ -585,7 +585,7 @@ func TestSyncClocks(t *testing.T) {
 		func(c *Ctx) { c.Load(a) },
 	})
 	s.SyncClocks()
-	if s.threads[0].clock != s.threads[1].clock {
+	if s.clocks[0] != s.clocks[1] {
 		t.Fatal("clocks not synchronized")
 	}
 }

@@ -11,9 +11,8 @@ import (
 
 // read executes a load by thread tid and returns the value read.
 func (s *System) read(tid int, addr isa.Addr, acquire bool) uint64 {
-	th := s.threads[tid]
 	line := addr.Line()
-	t := th.clock + s.cfg.IssueCost
+	t := s.clocks[tid] + s.cfg.IssueCost
 	if l := s.l1s[tid].Access(line); l != nil {
 		t += s.cfg.L1Lat
 	} else {
@@ -27,26 +26,24 @@ func (s *System) read(tid int, addr isa.Addr, acquire bool) uint64 {
 		t = s.mech.OnAcquire(tid, addr, t)
 	}
 	s.stats.Ops++
-	th.clock = t
+	s.clocks[tid] = t
 	return s.mem.Read(addr)
 }
 
 // write executes a store by thread tid.
 func (s *System) write(tid int, addr isa.Addr, val uint64, release bool) {
-	th := s.threads[tid]
-	t := s.obtainExclusive(tid, addr.Line(), th.clock+s.cfg.IssueCost)
+	t := s.obtainExclusive(tid, addr.Line(), s.clocks[tid]+s.cfg.IssueCost)
 	t = s.performWrite(tid, addr, val, release, false, t)
 	s.stats.Ops++
-	th.clock = t
+	s.clocks[tid] = t
 }
 
 // rmw executes a compare-and-swap. It returns the old value and whether
 // the swap happened.
 func (s *System) rmw(tid int, addr isa.Addr, expected, val uint64, order isa.Ordering) (uint64, bool) {
-	th := s.threads[tid]
 	// A CAS obtains exclusive ownership up front (it must be able to
 	// write atomically), succeed or fail.
-	t := s.obtainExclusive(tid, addr.Line(), th.clock+s.cfg.IssueCost)
+	t := s.obtainExclusive(tid, addr.Line(), s.clocks[tid]+s.cfg.IssueCost)
 	old := s.mem.Read(addr)
 	if order.IsAcquire() {
 		if s.tracker != nil {
@@ -59,21 +56,20 @@ func (s *System) rmw(tid int, addr isa.Addr, expected, val uint64, order isa.Ord
 		t = s.performWrite(tid, addr, val, order.IsRelease(), order.IsAcquire(), t)
 	}
 	s.stats.Ops++
-	th.clock = t
+	s.clocks[tid] = t
 	return old, swapped
 }
 
 // barrier executes an explicit full persist barrier.
 func (s *System) barrier(tid int) {
-	th := s.threads[tid]
-	t := th.clock + s.cfg.IssueCost
+	t := s.clocks[tid] + s.cfg.IssueCost
 	t2 := s.mech.OnBarrier(tid, t)
 	s.stall(tid, obs.StallBarrier, t, t2)
 	if s.obs != nil {
 		s.obs.Barrier(tid, t, t2)
 	}
 	s.stats.Ops++
-	th.clock = t2
+	s.clocks[tid] = t2
 }
 
 // obtainExclusive brings addr's line into the local L1 in Modified state,

@@ -106,6 +106,22 @@ func (s *System) perform(tid int, op isa.Op) (uint64, bool) {
 	return v, ok
 }
 
+// advance credits thread tid with n cycles of non-memory compute. It is
+// the single place a thread clock moves outside perform: the coroutine
+// frontend (Ctx.Work) and the trace-replay frontend (Step, AdvanceClock)
+// all funnel through it, so the scheduler's run-ahead horizon and the
+// replay path share one notion of thread time — and the recorder's
+// pending-work accounting cannot drift between them.
+func (s *System) advance(tid int, n engine.Time) {
+	if n < 0 {
+		panic("memsys: negative work")
+	}
+	s.clocks[tid] += n
+	if s.rec != nil {
+		s.threads[tid].recWork += n
+	}
+}
+
 // Step applies work cycles of compute and then executes op on thread
 // tid, without the coroutine scheduler: the caller owns the
 // interleaving, and operations execute in exactly the order Step is
@@ -117,29 +133,13 @@ func (s *System) Step(tid int, work engine.Time, op isa.Op) (uint64, bool) {
 	if tid < 0 || tid >= len(s.threads) {
 		panic(fmt.Sprintf("memsys: Step on thread %d of %d", tid, len(s.threads)))
 	}
-	if work < 0 {
-		panic("memsys: negative work")
-	}
-	th := s.threads[tid]
-	th.clock += work
-	if s.rec != nil {
-		th.recWork += work
-	}
+	s.advance(tid, work)
 	return s.perform(tid, op)
 }
 
 // AdvanceClock adds n idle cycles to thread tid's clock: trailing
 // compute that is not followed by an operation (trace Tick records).
-func (s *System) AdvanceClock(tid int, n engine.Time) {
-	if n < 0 {
-		panic("memsys: negative work")
-	}
-	th := s.threads[tid]
-	th.clock += n
-	if s.rec != nil {
-		th.recWork += n
-	}
-}
+func (s *System) AdvanceClock(tid int, n engine.Time) { s.advance(tid, n) }
 
 // Mark emits a phase marker to the recorder (no-op when none attached).
 // The workload harness calls it at the measured window's boundaries.

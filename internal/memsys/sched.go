@@ -1,0 +1,170 @@
+package memsys
+
+import (
+	"fmt"
+
+	"lrp/internal/engine"
+	"lrp/internal/perf"
+)
+
+// sched is the event-driven scheduling kernel's hot state. Thread clocks
+// themselves live in System.clocks (a dense struct-of-arrays slice — the
+// protocol reads and writes them on every operation); sched holds the
+// grant machinery built over them: the leaderboard of parked threads, the
+// granted thread's run-ahead horizon, and the per-thread coroutine
+// plumbing, all retained across Run calls so steady-state grants allocate
+// nothing.
+//
+// Grants hand off directly thread-to-thread: the parking goroutine
+// re-enrolls itself, pops the next winner off the leaderboard and sends
+// on that thread's resume channel, so a mandatory handoff costs one
+// goroutine switch, not a bounce through a central scheduler goroutine.
+// Run itself only seeds the first grant and then sleeps until the last
+// finishing thread signals allDone. A thread that finishes does not
+// re-enroll — "done" is encoded structurally by absence from the
+// leaderboard rather than by a flag.
+type sched struct {
+	// lb indexes the clocks of parked-but-live threads; the granted
+	// thread is not enrolled while it runs.
+	lb engine.Leaderboard
+
+	// horizon/horizonTid are the leaderboard minimum at grant time: the
+	// runner-up thread's (clock, tid). The granted thread may keep
+	// executing operations without a handoff while its own (clock, tid)
+	// orders strictly before the horizon — the scheduler, rerun, would
+	// only pick it again. horizon is Infinity when no other thread is
+	// live (single-thread runs never park until they finish).
+	horizon    engine.Time
+	horizonTid int
+
+	// ctxs are the per-thread coroutine handles, created once per machine
+	// and reused by every Run call.
+	ctxs []*Ctx
+
+	// allDone is signalled by the last thread of a Run to finish.
+	allDone chan struct{}
+
+	// grants counts thread grants (one goroutine switch each); runAhead
+	// counts operations admitted on the fast path with no handoff at
+	// all. Host-side counters only — they exist for tests and the bench
+	// harness and never influence simulated time.
+	grants   uint64
+	runAhead uint64
+}
+
+// ensure sizes the kernel for n threads, building the coroutine handles
+// on first use.
+func (k *sched) ensure(s *System, n int) {
+	if len(k.ctxs) == n {
+		return
+	}
+	k.ctxs = make([]*Ctx, n)
+	for i := range k.ctxs {
+		k.ctxs[i] = &Ctx{
+			sys:    s,
+			tid:    i,
+			resume: make(chan struct{}),
+		}
+	}
+	k.allDone = make(chan struct{})
+}
+
+// grantNext pops the next (clock, tid) minimum off the leaderboard,
+// publishes the new runner-up horizon, and wakes the winner. The caller
+// must have ensured the leaderboard is non-empty.
+func (k *sched) grantNext() {
+	tid, _ := k.lb.PopMin()
+	if htid, hclock, ok := k.lb.Peek(); ok {
+		k.horizon, k.horizonTid = hclock, htid
+	} else {
+		k.horizon, k.horizonTid = engine.Infinity, -1
+	}
+	k.grants++
+	k.ctxs[tid].resume <- struct{}{}
+}
+
+// SchedStats reports the kernel's host-side scheduling counters since the
+// machine was built: grants is the number of thread grants (each one a
+// goroutine switch), runAhead the number of memory operations admitted on
+// the fast path without any handoff.
+func (s *System) SchedStats() (grants, runAhead uint64) {
+	return s.sched.grants, s.sched.runAhead
+}
+
+// Run executes one program per hardware thread, interleaving their memory
+// operations deterministically in virtual-time order (ties broken by
+// thread id). It returns the execution time: the maximum thread clock.
+// Run may be called multiple times; machine state persists between calls,
+// which is how workloads separate their warm-up fill from the measured
+// window.
+//
+// The kernel is event-driven rather than grant-per-op: a grant publishes
+// the runner-up's (clock, tid) as its horizon, and the granted thread
+// then executes operations on its own goroutine until its next operation
+// would cross the horizon — Ctx.handoff's fast path is a pair of
+// comparisons, not a goroutine switch. Because every operation still
+// checks the horizon *before* performing, operations execute in exactly
+// the global (clock, tid) order the historical pick-one-op-per-grant
+// scan produced; only the number (and cost) of goroutine switches
+// changes.
+func (s *System) Run(progs []Program) engine.Time {
+	if len(progs) > len(s.threads) {
+		panic(fmt.Sprintf("memsys: %d programs for %d cores", len(progs), len(s.threads)))
+	}
+	n := len(progs)
+	if n == 0 {
+		s.flushRecWork()
+		return s.Time()
+	}
+	k := &s.sched
+	k.ensure(s, len(s.threads))
+	k.lb.Reset(len(s.threads))
+	for i := 0; i < n; i++ {
+		k.lb.Push(i, s.clocks[i])
+	}
+	// Launch the coroutines; each waits for its first grant.
+	for i := 0; i < n; i++ {
+		go s.threadMain(k.ctxs[i], progs[i])
+	}
+	// The scheduler phase region is open exactly while the kernel owns
+	// execution: Run opens it for the first grant, each granted thread
+	// closes it when it wakes and reopens it when it parks or finishes.
+	// Grant cost — the leaderboard pick and the goroutine switch of the
+	// handoff itself — is therefore attributed to perf.PhaseScheduler,
+	// and the run-ahead fast path costs no region at all.
+	if s.perf != nil {
+		s.perf.Start(perf.PhaseScheduler)
+	}
+	k.grantNext()
+	<-k.allDone
+	if s.perf != nil {
+		s.perf.End()
+	}
+	// Trailing compute after a thread's last operation still moves the
+	// machine time; hand it to the recorder so replay reproduces it.
+	s.flushRecWork()
+	return s.Time()
+}
+
+// threadMain is the coroutine wrapper around one Program: first grant in,
+// program body, then hand the machine to the next thread — or, when this
+// was the last live thread, wake Run.
+func (s *System) threadMain(c *Ctx, p Program) {
+	<-c.resume
+	if s.perf != nil {
+		s.perf.End()
+	}
+	p(c)
+	if s.perf != nil {
+		s.perf.Start(perf.PhaseScheduler)
+	}
+	k := &s.sched
+	if k.lb.Len() == 0 {
+		k.allDone <- struct{}{}
+		return
+	}
+	k.grantNext()
+}
+
+// RunOne is a convenience wrapper running a single program on thread 0.
+func (s *System) RunOne(p Program) engine.Time { return s.Run([]Program{p}) }

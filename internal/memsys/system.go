@@ -54,11 +54,12 @@ type Stats struct {
 // (the workload harness) never silently drop one.
 func (s Stats) Sub(before Stats) Stats { return stats.Delta(s, before) }
 
-// thread is the per-hardware-thread machine state.
+// thread is the per-hardware-thread machine state. The thread's clock —
+// the hottest field, read and written on every operation and compared on
+// every scheduling decision — lives in System.clocks (struct-of-arrays)
+// rather than here.
 type thread struct {
-	id    int
-	clock engine.Time
-	done  bool
+	id int
 
 	arena *mm.Arena
 	rng   *engine.Rand
@@ -108,6 +109,13 @@ type System struct {
 
 	threads []*thread
 	mech    mech.Mechanism
+
+	// clocks[i] is thread i's virtual clock, kept as a dense slice so the
+	// protocol's per-op reads/writes and the scheduling kernel's horizon
+	// comparisons touch contiguous memory instead of chasing thread
+	// structs. sched is the event-driven scheduling kernel built over it.
+	clocks []engine.Time
+	sched  sched
 
 	// dirtyScratch backs scanDirty's per-core result slices, so barrier
 	// and epoch flushes do not allocate afresh on every scan.
@@ -178,6 +186,7 @@ func New(cfg Config) (*System, error) {
 	}
 	s.l1s = make([]*cache.L1, cfg.Cores)
 	s.threads = make([]*thread, cfg.Cores)
+	s.clocks = make([]engine.Time, cfg.Cores)
 	s.dirtyScratch = make([][]*cache.Line, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		s.l1s[i] = cache.NewL1(cfg.L1Size, cfg.L1Ways)
@@ -271,9 +280,9 @@ func (s *System) CrashImageAt(at engine.Time) *mm.Memory {
 // Time returns the maximum thread clock: the run's execution time.
 func (s *System) Time() engine.Time {
 	var max engine.Time
-	for _, t := range s.threads {
-		if t.clock > max {
-			max = t.clock
+	for _, c := range s.clocks {
+		if c > max {
+			max = c
 		}
 	}
 	return max
@@ -324,9 +333,6 @@ func (s *System) persistL1Line(tid int, l *cache.Line, now, earliest engine.Time
 	done := s.nvm.PersistLine(now, earliest, l.Addr, words)
 	if s.perf != nil {
 		s.perf.End()
-	}
-	if dbgLine != 0 && l.Addr == dbgLine {
-		fmt.Printf("DBG persistL1Line addr=%v now=%v earliest=%v done=%v stamps=%v rel=%v minEpoch=%d\n", l.Addr, now, earliest, done, l.Stamps, l.Release, l.MinEpoch)
 	}
 	if s.tracker != nil {
 		for _, st := range l.Stamps {
@@ -424,12 +430,6 @@ func (s *System) faultStall(tid int, now engine.Time) engine.Time {
 	}
 	return now + d
 }
-
-// dbgLine enables persist tracing for one line address (debug builds).
-var dbgLine isa.Addr
-
-// SetDebugLine enables persist tracing for a line (tests/tools only).
-func SetDebugLine(a isa.Addr) { dbgLine = a.Line() }
 
 func (s *System) String() string {
 	return fmt.Sprintf("memsys: %d cores, %s, %s NVM", s.cfg.Cores, s.cfg.Mechanism, s.nvm.Mode())

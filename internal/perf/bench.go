@@ -35,12 +35,20 @@ const (
 	MetricAllocsPerOp = "allocs_per_op"
 	// MetricWallNs is the total host wall time of one rep.
 	MetricWallNs = "wall_ns"
+	// MetricGrantsPerOp is scheduler grants (goroutine switches) per
+	// simulated op — the fraction of operations that could NOT ride the
+	// kernel's run-ahead fast path. Unlike the timing metrics it is
+	// fully deterministic (a function of the seed and the kernel, not
+	// of host speed), so its compare verdict is noise-free: any growth
+	// is a structural scheduler regression, gateable even on hosts too
+	// erratic to trust ns_per_op.
+	MetricGrantsPerOp = "sched_grants_per_op"
 )
 
 // CompareMetrics are the lower-is-better metrics a regression verdict is
 // computed over. simops_per_sec is excluded (it is 1e9/ns_per_op) and
 // wall_ns is excluded (redundant with ns_per_op at fixed sim_ops).
-var CompareMetrics = []string{MetricNsPerOp, MetricBytesPerOp, MetricAllocsPerOp}
+var CompareMetrics = []string{MetricNsPerOp, MetricBytesPerOp, MetricAllocsPerOp, MetricGrantsPerOp}
 
 // BenchFile is one point of the BENCH_*.json trajectory: a full grid of
 // benchmark cells plus the environment fingerprint they were measured in.

@@ -183,6 +183,58 @@ func TestCompareVerdicts(t *testing.T) {
 	}
 }
 
+// TestCompareCalibration pins the host-speed calibration the enforcing
+// CI gate relies on: absolute host timings shift wholesale between
+// machines and hours (steal time on shared runners), so time metrics are
+// judged relative to the grid-wide median ratio. A uniform slowdown must
+// not flag; a cell that moves against the grid must; -no-calibrate must
+// restore absolute verdicts; and count metrics stay absolute throughout.
+func TestCompareCalibration(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f", "g"}
+	var oldCells, newCells []BenchCell
+	for _, n := range names {
+		oldCells = append(oldCells, mkCell(n, 1000, []float64{1000, 1000, 1000}))
+		// The whole grid runs 50% slower: a host-speed shift, not a
+		// regression. Cell "g" additionally regresses 40% against it.
+		ns := 1500.0
+		if n == "g" {
+			ns = 2100
+		}
+		newCells = append(newCells, mkCell(n, 1000, []float64{ns, ns, ns}))
+	}
+	old, new := fileWith(oldCells...), fileWith(newCells...)
+
+	rep := Compare(old, new, CompareOpts{})
+	if rep.HostSpeed != 1.5 {
+		t.Fatalf("host-speed ratio = %v, want 1.5", rep.HostSpeed)
+	}
+	for _, r := range rep.Rows {
+		if r.Metric != MetricNsPerOp {
+			continue
+		}
+		want := VerdictOK
+		if strings.HasPrefix(r.Cell, "g/") {
+			want = VerdictRegressed
+		}
+		if r.Verdict != want {
+			t.Errorf("%s: verdict %v (delta %+.2f cal %+.2f), want %v",
+				r.Cell, r.Verdict, r.Delta, r.CalDelta, want)
+		}
+	}
+	if rep.Regressions != 1 {
+		t.Errorf("regressions = %d, want 1 (only the differential cell)", rep.Regressions)
+	}
+	if !strings.Contains(rep.Table(), "cal") {
+		t.Error("calibrated table must carry the cal column")
+	}
+
+	abs := Compare(old, new, CompareOpts{NoCalibrate: true})
+	if abs.HostSpeed != 0 || abs.Regressions != len(names) {
+		t.Errorf("no-calibrate: host-speed %v, regressions %d, want 0 and %d",
+			abs.HostSpeed, abs.Regressions, len(names))
+	}
+}
+
 // TestCompareSelf pins the identity property the CI gate relies on:
 // comparing a file against itself reports zero regressions.
 func TestCompareSelf(t *testing.T) {

@@ -9,8 +9,12 @@
 // their hot paths with Profiler.Start(phase)/Profiler.End(). Regions
 // nest; elapsed host time is attributed exclusively to the innermost open
 // region, so the per-phase totals are self times that sum to the total
-// instrumented wall time (gaps — workload Go code between memory
-// operations, goroutine handoffs — remain unattributed by design).
+// instrumented wall time (the remaining gap — workload Go code between
+// memory operations — is unattributed by design). Scheduler handoffs are
+// NOT a gap: the kernel opens the scheduler region when a thread parks
+// and closes it when the next grant wakes, so the park/unpark goroutine
+// switches land in the scheduler phase (pinned by
+// TestSchedulerPhaseAttribution in package memsys).
 // Regions read host clocks only, never virtual time, so a machine with a
 // Profiler attached is cycle-for-cycle identical to one without
 // (asserted by TestObserverTimingNeutral in the root package).
@@ -41,8 +45,11 @@ import (
 type Phase uint8
 
 const (
-	// PhaseScheduler is the virtual-time scheduler's own bookkeeping:
-	// picking the minimum-clock runnable thread each step.
+	// PhaseScheduler is the virtual-time scheduling kernel's cost: the
+	// leaderboard pick at each grant plus the park/unpark goroutine
+	// switches of the handoff itself. Operations admitted on the kernel's
+	// run-ahead fast path never enter the phase, so its region count is
+	// the number of handoffs, not the number of operations.
 	PhaseScheduler Phase = iota
 	// PhaseProtocol is the coherence-protocol work of one memory
 	// operation (perform and everything under it not claimed by an
@@ -157,8 +164,10 @@ func New(opt Options) *Profiler {
 
 // Start opens a region of phase ph, attributing the time since the last
 // attribution point to the enclosing region (if any). Every Start must
-// be paired with an End on the same goroutine before the next scheduler
-// handoff.
+// be paired with an End before the machine's next attribution point; the
+// pair may straddle a scheduler handoff (the parking goroutine Starts,
+// the woken one Ends) because the machine serializes execution, which is
+// exactly how handoff cost itself is attributed to PhaseScheduler.
 func (p *Profiler) Start(ph Phase) {
 	if p == nil {
 		return

@@ -39,7 +39,11 @@ type BenchOpts struct {
 	Workloads []string
 	// Mechs are the mechanisms to run (default: all registered).
 	Mechs []Mechanism
-	// Threads are the worker counts (default: {8}).
+	// Threads are the worker counts (default: {1, 2, 8}). The spread is
+	// deliberate: the scheduling kernel's run-ahead fast path carries
+	// nearly every operation at low thread counts while dense t8 grids
+	// park on most operations, so a single thread count would leave one
+	// of the two scheduler regimes unguarded by the baseline compare.
 	Threads []int
 	// Ops is the measured operations per thread (default 60).
 	Ops int
@@ -76,7 +80,7 @@ func (o BenchOpts) withDefaults() BenchOpts {
 		}
 	}
 	if o.Threads == nil {
-		o.Threads = []int{8}
+		o.Threads = []int{1, 2, 8}
 	}
 	if o.Ops == 0 {
 		o.Ops = 60
@@ -153,6 +157,7 @@ func runBenchCell(o BenchOpts, structure string, k Mechanism, threads int) (perf
 	opsPerSec := make([]float64, 0, o.Reps)
 	bytesPerOp := make([]float64, 0, o.Reps)
 	allocsPerOp := make([]float64, 0, o.Reps)
+	grantsPerOp := make([]float64, 0, o.Reps)
 	phaseNs := make(map[string][]float64)
 
 	for rep := 0; rep < o.Reps; rep++ {
@@ -204,6 +209,8 @@ func runBenchCell(o BenchOpts, structure string, k Mechanism, threads int) (perf
 		opsPerSec = append(opsPerSec, ops/elapsed.Seconds())
 		bytesPerOp = append(bytesPerOp, float64(after.TotalAlloc-before.TotalAlloc)/ops)
 		allocsPerOp = append(allocsPerOp, float64(after.Mallocs-before.Mallocs)/ops)
+		grants, _ := m.SchedStats()
+		grantsPerOp = append(grantsPerOp, float64(grants)/ops)
 		if prof != nil {
 			for _, st := range prof.Snapshot() {
 				if st.Count > 0 {
@@ -219,6 +226,7 @@ func runBenchCell(o BenchOpts, structure string, k Mechanism, threads int) (perf
 		perf.MetricSimopsPerSec: perf.NewDist(opsPerSec),
 		perf.MetricBytesPerOp:   perf.NewDist(bytesPerOp),
 		perf.MetricAllocsPerOp:  perf.NewDist(allocsPerOp),
+		perf.MetricGrantsPerOp:  perf.NewDist(grantsPerOp),
 	}
 	if len(phaseNs) > 0 {
 		cell.PhaseNs = make(map[string]int64, len(phaseNs))
