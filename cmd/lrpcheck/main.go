@@ -38,7 +38,7 @@ import (
 func main() {
 	var (
 		mechName   = flag.String("mechanism", "LRP", "mechanism: "+strings.Join(lrp.MechanismNames(), "|"))
-		structure  = flag.String("structure", "linkedlist", "workload structure")
+		structure  = flag.String("structure", "linkedlist", "workload structure: "+strings.Join(lrp.WorkloadNames(), "|"))
 		threads    = flag.Int("threads", 4, "worker threads")
 		size       = flag.Int("size", 256, "initial structure size")
 		ops        = flag.Int("ops", 200, "operations per thread")

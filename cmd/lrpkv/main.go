@@ -1,0 +1,146 @@
+// Command lrpkv runs the KV service workload ad hoc: one multi-tenant
+// get/set/del/cas/scan service run on a simulated machine, with the key
+// skew, op mix, value sizes and tenancy all on flags, reporting the
+// machine-level persistency counters plus the service-level metrics
+// (per-op throughput, miss rates, latency quantiles, per-tenant load).
+//
+// Usage:
+//
+//	lrpkv [-mechanism LRP] [-threads 8] [-ops 400] [-tenants 4] [-keys 0]
+//	      [-skew zipfian] [-theta 990] [-hotkeypct 10] [-hotoppct 90]
+//	      [-mix 50,30,5,10,5] [-minval 1] [-maxval 8] [-scanlen 8]
+//	      [-size 4096] [-seed 7] [-uncached]
+//
+// The run is deterministic in every flag: the request streams are a
+// pure function of (params, seed, thread).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lrp"
+)
+
+func main() {
+	var (
+		mechName = flag.String("mechanism", "LRP", "mechanism: "+strings.Join(lrp.MechanismNames(), "|"))
+		threads  = flag.Int("threads", 8, "worker threads")
+		ops      = flag.Int("ops", 400, "requests per thread in the measured window")
+		size     = flag.Int("size", 4096, "total key space (tenants x keys/tenant) when -keys is 0")
+		tenants  = flag.Int("tenants", 4, "tenant (shard) count")
+		keys     = flag.Int("keys", 0, "keys per tenant (0: size/tenants)")
+		skew     = flag.String("skew", "zipfian", "key popularity: uniform|zipfian|hotspot")
+		theta    = flag.Int("theta", 990, "zipfian theta in thousandths (1..999)")
+		hotKey   = flag.Int("hotkeypct", 10, "hotspot: hot fraction of the key space, percent")
+		hotOp    = flag.Int("hotoppct", 90, "hotspot: request fraction sent to the hot keys, percent")
+		mix      = flag.String("mix", "", "op mix get,set,del,cas,scan in percent (default 50,30,5,10,5)")
+		minVal   = flag.Int("minval", 1, "minimum value payload in 8-byte words")
+		maxVal   = flag.Int("maxval", 8, "maximum value payload in 8-byte words")
+		scanLen  = flag.Int("scanlen", 8, "maximum keys visited per scan")
+		seed     = flag.Uint64("seed", 7, "deterministic seed")
+		uncached = flag.Bool("uncached", false, "disable the NVM-side DRAM cache")
+	)
+	flag.Parse()
+	if err := run(*mechName, *threads, *ops, *size, *tenants, *keys, *skew, *theta,
+		*hotKey, *hotOp, *mix, *minVal, *maxVal, *scanLen, *seed, *uncached); err != nil {
+		fmt.Fprintln(os.Stderr, "lrpkv:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMix(s string) (g, st, d, ca, sc int, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 5 {
+		return 0, 0, 0, 0, 0, fmt.Errorf("-mix wants 5 comma-separated percentages, got %q", s)
+	}
+	vals := make([]int, 5)
+	for i, p := range parts {
+		if vals[i], err = strconv.Atoi(strings.TrimSpace(p)); err != nil {
+			return 0, 0, 0, 0, 0, fmt.Errorf("-mix: %w", err)
+		}
+	}
+	return vals[0], vals[1], vals[2], vals[3], vals[4], nil
+}
+
+func run(mechName string, threads, ops, size, tenants, keys int, skew string, theta,
+	hotKey, hotOp int, mix string, minVal, maxVal, scanLen int, seed uint64, uncached bool) error {
+	k, err := lrp.ParseMechanism(mechName)
+	if err != nil {
+		return err
+	}
+	p := lrp.KVParams{
+		Tenants: tenants, KeysPerTenant: keys, Skew: skew, ThetaMilli: theta,
+		HotKeyPct: hotKey, HotOpPct: hotOp,
+		MinValWords: minVal, MaxValWords: maxVal, ScanLen: scanLen,
+	}
+	if mix != "" {
+		if p.GetPct, p.SetPct, p.DelPct, p.CASPct, p.ScanPct, err = parseMix(mix); err != nil {
+			return err
+		}
+	}
+	cfg := lrp.DefaultConfig().WithMechanism(k)
+	cfg.Cores = threads
+	if cfg.Cores < 16 {
+		cfg.Cores = 16
+	}
+	if uncached {
+		cfg.NVM.Mode = 1
+	}
+	cfg.Obs = lrp.NewObserver(cfg, false, 0)
+	spec := lrp.Spec{
+		Structure: "kv", Threads: threads, InitialSize: size,
+		OpsPerThread: ops, Seed: seed, KV: p,
+	}
+	res, m, err := lrp.RunWorkload(cfg, spec)
+	if err != nil {
+		return err
+	}
+	np := spec.KV.Normalized(size)
+	fmt.Printf("kv service      %d tenants x %d keys, %s skew, mix get%d/set%d/del%d/cas%d/scan%d\n",
+		np.Tenants, np.KeysPerTenant, np.Skew,
+		np.GetPct, np.SetPct, np.DelPct, np.CASPct, np.ScanPct)
+	fmt.Printf("mechanism       %s\n", k)
+	fmt.Printf("threads         %d\n", threads)
+	fmt.Printf("exec time       %v\n", res.ExecTime)
+	fmt.Printf("requests        %d (%.1f cycles/req)\n", res.Ops,
+		float64(res.ExecTime)*float64(threads)/float64(res.Ops))
+	fmt.Printf("persists        %d (%.1f%% on the critical path)\n",
+		res.Sys.Persists, res.CriticalWritebackPct())
+	fmt.Printf("stall cycles    %d\n", res.Sys.StallCycles)
+	fmt.Printf("NVM traffic     %d bytes persisted, %d line reads\n",
+		res.NVM.BytesPersisted, res.NVM.Reads)
+
+	reg := m.Observer().Registry()
+	if reg == nil {
+		return nil
+	}
+	fmt.Println()
+	fmt.Println("service metrics (measured window, simulated cycles):")
+	for _, op := range []string{"get", "set", "del", "cas", "scan"} {
+		n := reg.SumCounters("kv/ops/" + op)
+		if n == 0 {
+			continue
+		}
+		miss := reg.SumCounters("kv/miss/" + op)
+		lat := reg.MergeHistograms("kv/lat/" + op)
+		fmt.Printf("  %-5s %7d ops  %5.1f%% miss  lat p50=%-6d p99=%-6d mean=%.0f\n",
+			op, n, 100*float64(miss)/float64(n),
+			lat.Quantile(0.5), lat.Quantile(0.99), lat.Mean())
+	}
+	fmt.Printf("  scan keys read  %d\n", reg.SumCounters("kv/scan/keys"))
+	var loads []string
+	total := float64(0)
+	for t := 0; t < np.Tenants; t++ {
+		total += float64(reg.SumCounters(fmt.Sprintf("kv/tenant%d/ops", t)))
+	}
+	for t := 0; t < np.Tenants; t++ {
+		n := reg.SumCounters(fmt.Sprintf("kv/tenant%d/ops", t))
+		loads = append(loads, fmt.Sprintf("t%d=%.1f%%", t, 100*float64(n)/total))
+	}
+	fmt.Printf("  tenant load     %s\n", strings.Join(loads, " "))
+	return nil
+}

@@ -52,8 +52,8 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment to run: config|fig5|fig6|fig7|fig8|size|ablation-ret|ablation-readmix|faults|dlin|replay|all")
-		run        = flag.String("run", "", "run a single workload: linkedlist|hashmap|bstree|skiplist|queue")
+		experiment = flag.String("experiment", "", "experiment to run: config|fig5|fig6|fig7|fig8|size|ablation-ret|ablation-readmix|faults|dlin|replay|kv|all")
+		run        = flag.String("run", "", "run a single workload: "+strings.Join(lrp.WorkloadNames(), "|"))
 		mechanism  = flag.String("mechanism", "LRP", "mechanism for -run: "+strings.Join(lrp.MechanismNames(), "|"))
 		threads    = flag.Int("threads", 16, "worker threads")
 		ops        = flag.Int("ops", 100, "operations per thread in the measured window")
@@ -196,6 +196,8 @@ func runExperiment(name string, opts lrp.ExperimentOpts) error {
 		return table(func(o lrp.ExperimentOpts) (*lrp.Table, error) { return lrp.DLinReport(o) })
 	case "replay":
 		return table(lrp.ReplayComparison)
+	case "kv":
+		return table(lrp.KVGrid)
 	case "all":
 		out, err := lrp.ExperimentAll(opts)
 		fmt.Print(out)

@@ -5,7 +5,7 @@
 //
 //	lrptrace record -o FILE [-structure hashmap] [-mechanism NOP] [-threads 4]
 //	                [-cores N] [-size 96] [-ops 25] [-readpct 0] [-opwork 0]
-//	                [-seed 7] [-uncached]
+//	                [-seed 7] [-uncached] [-hist]
 //	lrptrace replay FILE [-mechanism K | -all] [-verify] [-o FILE] [-metrics]
 //	lrptrace info FILE
 //	lrptrace diff FILE1 FILE2
@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"lrp"
 	"lrp/internal/stats"
@@ -62,7 +63,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   lrptrace record -o FILE [-structure S] [-mechanism K] [-threads N] [-cores N]
-                  [-size N] [-ops N] [-readpct P] [-opwork C] [-seed N] [-uncached]
+                  [-size N] [-ops N] [-readpct P] [-opwork C] [-seed N] [-uncached] [-hist]
   lrptrace replay FILE [-mechanism K | -all] [-verify] [-o FILE] [-metrics]
   lrptrace info FILE
   lrptrace diff FILE1 FILE2`)
@@ -72,7 +73,7 @@ func cmdRecord(args []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	var (
 		out       = fs.String("o", "", "output trace file (required)")
-		structure = fs.String("structure", "hashmap", "workload structure")
+		structure = fs.String("structure", "hashmap", "workload structure: "+strings.Join(lrp.WorkloadNames(), "|"))
 		mechName  = fs.String("mechanism", "NOP", "mechanism to record under")
 		threads   = fs.Int("threads", 4, "worker threads")
 		cores     = fs.Int("cores", 0, "machine cores (0: max(threads, 16))")
@@ -82,6 +83,7 @@ func cmdRecord(args []string) error {
 		opWork    = fs.Int("opwork", 0, "compute cycles per operation (0: default)")
 		seed      = fs.Uint64("seed", 7, "deterministic seed")
 		uncached  = fs.Bool("uncached", false, "disable the NVM-side DRAM cache")
+		hist      = fs.Bool("hist", false, "capture the abstract op history into the trace (durable-linearizability checking on replay)")
 	)
 	fs.Parse(args)
 	if *out == "" {
@@ -115,7 +117,17 @@ func cmdRecord(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, _, sum, err := lrp.RecordTrace(cfg, spec, f)
+	var res *lrp.Result
+	var sum lrp.TraceSummary
+	if *hist {
+		var h *lrp.OpHistory
+		res, _, _, h, sum, err = lrp.RecordTraceHist(cfg, spec, f)
+		if err == nil {
+			fmt.Printf("op history      %d operations captured\n", len(h.Ops))
+		}
+	} else {
+		res, _, sum, err = lrp.RecordTrace(cfg, spec, f)
+	}
 	if err != nil {
 		f.Close()
 		return err

@@ -136,6 +136,9 @@ var defaultSizes = map[string]int{
 	"bstree":     8192,
 	"skiplist":   8192,
 	"queue":      2048,
+	// kv's InitialSize is the total key space (tenants × keys/tenant);
+	// the service's working set, like the hashmap's, can be large.
+	"kv": 4096,
 }
 
 func (o ExperimentOpts) size(structure string) int {

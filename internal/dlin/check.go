@@ -198,10 +198,35 @@ func (p *Pass) replay(at engine.Time, count int) {
 		}
 		o := h.Ops[oi]
 		switch o.Kind {
-		case OpInsert:
+		case OpInsert, OpSet:
 			p.set[o.Key] = o.Val
 		case OpDelete:
 			delete(p.set, o.Key)
+		case OpCAS:
+			// A successful CAS's expected value must be what the durable
+			// linearization order left on the key. Per-word persist times
+			// are monotone in coherence order (a flush captures the
+			// line's current contents, so a later write to the same word
+			// never persists before an earlier one); combined with
+			// release persistency ordering each value-cell CAS after the
+			// writes it observed, a durable CAS implies its expected
+			// value's writer is durable. A mismatch here is the same
+			// write-level reordering the queue's dequeue check catches.
+			cur, present := p.set[o.Key]
+			switch {
+			case !present:
+				p.replayBad = append(p.replayBad, Violation{
+					Class: Reordered, Op: oi, Kind: o.Kind, Key: o.Key, Val: o.Val,
+					Detail: fmt.Sprintf("%v durable before the write that supplied its expected value", o),
+				})
+				continue
+			case cur != o.Exp:
+				p.replayBad = append(p.replayBad, Violation{
+					Class: Phantom, Op: oi, Kind: o.Kind, Key: o.Key, Val: o.Val,
+					Detail: fmt.Sprintf("%v but the durable linearization order leaves value %d on key %d", o, cur, o.Key),
+				})
+			}
+			p.set[o.Key] = o.Val
 		case OpEnqueue:
 			p.queue = append(p.queue, o.Val)
 		case OpDequeue:
@@ -349,14 +374,15 @@ func (p *Pass) lastDurableOn(k uint64) (int, int, Op) {
 	return -1, -1, Op{}
 }
 
-// phantomOpOn finds the first non-durable insert of key k, the likely
-// source of a phantom (an effect from the non-durable future); -1 when
-// none exists.
+// phantomOpOn finds the first non-durable key-creating update of key k,
+// the likely source of a phantom (an effect from the non-durable
+// future); -1 when none exists.
 func (p *Pass) phantomOpOn(k uint64) int {
 	c := p.c
 	for i, oi := range c.upd {
 		o := c.h.Ops[oi]
-		if o.Kind == OpInsert && o.Key == k && !p.inPrefix(i) {
+		creates := o.Kind == OpInsert || o.Kind == OpSet || o.Kind == OpCAS
+		if creates && o.Key == k && !p.inPrefix(i) {
 			return oi
 		}
 	}

@@ -63,6 +63,14 @@ const (
 	// OpEnqueue and OpDequeue are the MS-queue operations.
 	OpEnqueue
 	OpDequeue
+	// OpGet, OpSet, OpCAS, and OpScan are the kv-service operations
+	// (internal/kv): OpGet/OpScan read, OpSet writes unconditionally,
+	// OpCAS writes Val if the current value is Exp. The kv store
+	// reuses OpDelete for its tombstoning delete.
+	OpGet
+	OpSet
+	OpCAS
+	OpScan
 )
 
 func (k Kind) String() string {
@@ -77,13 +85,23 @@ func (k Kind) String() string {
 		return "enqueue"
 	case OpDequeue:
 		return "dequeue"
+	case OpGet:
+		return "get"
+	case OpSet:
+		return "set"
+	case OpCAS:
+		return "cas"
+	case OpScan:
+		return "scan"
 	}
 	return fmt.Sprintf("op(%d)", uint8(k))
 }
 
 // Mutates reports whether a successful operation of this kind changes
 // the abstract state.
-func (k Kind) Mutates() bool { return k != OpContains }
+func (k Kind) Mutates() bool {
+	return k != OpContains && k != OpGet && k != OpScan
+}
 
 // Op is one completed data-structure operation in a recorded history.
 type Op struct {
@@ -93,6 +111,9 @@ type Op struct {
 	// unused for queue ops, Val holds the enqueued value).
 	Kind     Kind
 	Key, Val uint64
+	// Exp is OpCAS's observed expected value: the value the operation
+	// read before attempting its swap. Unused by every other kind.
+	Exp uint64
 	// OK is the operation's outcome: insert/delete success, contains
 	// found, dequeue nonempty. Enqueue always succeeds.
 	OK bool
@@ -120,6 +141,10 @@ func (o Op) String() string {
 		return fmt.Sprintf("t%d:enqueue(%d)", o.Tid, o.Val)
 	case OpDequeue:
 		return fmt.Sprintf("t%d:dequeue()=%d,%v", o.Tid, o.Ret, o.OK)
+	case OpCAS:
+		return fmt.Sprintf("t%d:cas(%d,%d->%d)=%v", o.Tid, o.Key, o.Exp, o.Val, o.OK)
+	case OpSet:
+		return fmt.Sprintf("t%d:set(%d,%d)=%v", o.Tid, o.Key, o.Val, o.OK)
 	default:
 		return fmt.Sprintf("t%d:%s(%d)=%v", o.Tid, o.Kind, o.Key, o.OK)
 	}

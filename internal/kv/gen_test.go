@@ -1,0 +1,195 @@
+package kv
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"lrp/internal/workload"
+)
+
+// genFreq draws threads×n requests and returns the key-frequency map
+// plus per-op counts.
+func genFreq(g *Gen, threads, n int) (map[uint64]int, [5]int) {
+	freq := map[uint64]int{}
+	var ops [5]int
+	for th := 0; th < threads; th++ {
+		for _, rq := range g.Stream(th, n) {
+			freq[rq.Key]++
+			ops[rq.Op]++
+		}
+	}
+	return freq, ops
+}
+
+// topKeys returns the k most frequent keys (count-desc, key-asc ties).
+func topKeys(freq map[uint64]int, k int) [][2]uint64 {
+	type kc struct {
+		key uint64
+		n   int
+	}
+	var all []kc
+	for key, n := range freq {
+		all = append(all, kc{key, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].key < all[j].key
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([][2]uint64, len(all))
+	for i, e := range all {
+		out[i] = [2]uint64{e.key, uint64(e.n)}
+	}
+	return out
+}
+
+// TestGenGoldenFrequencies pins the generator's key-frequency profile
+// per (skew, seed): the exact top-8 keys and counts over 4×5000
+// requests on a 256-key tenant space. Any change to the zipfian math,
+// the rank scrambler, the hotspot split, or the stream rng breaks these
+// pins — which is the point: recorded traces and golden experiment
+// tables depend on this stream byte-for-byte.
+func TestGenGoldenFrequencies(t *testing.T) {
+	cases := []struct {
+		skew     string
+		seed     uint64
+		distinct int
+		top8     [][2]uint64
+	}{
+		{"zipfian", 7, 175, [][2]uint64{
+			{230, 3210}, {139, 1606}, {21, 1377}, {241, 1339},
+			{221, 704}, {109, 610}, {233, 433}, {216, 345},
+		}},
+		{"zipfian", 42, 175, [][2]uint64{
+			{230, 3236}, {139, 1706}, {21, 1374}, {241, 1290},
+			{221, 711}, {109, 575}, {233, 429}, {216, 329},
+		}},
+		{"hotspot", 7, 256, [][2]uint64{
+			{7, 773}, {11, 754}, {22, 753}, {4, 748},
+			{17, 746}, {5, 741}, {18, 736}, {10, 735},
+		}},
+		{"uniform", 7, 256, [][2]uint64{
+			{13, 105}, {22, 100}, {171, 100}, {105, 99},
+			{120, 99}, {161, 99}, {21, 98}, {118, 98},
+		}},
+	}
+	for _, tc := range cases {
+		p := workload.KVParams{Skew: tc.skew}.Normalized(1024)
+		g := NewGen(p, tc.seed)
+		freq, _ := genFreq(g, 4, 5000)
+		if len(freq) != tc.distinct {
+			t.Errorf("%s/%d: %d distinct keys, want %d", tc.skew, tc.seed, len(freq), tc.distinct)
+		}
+		if got := topKeys(freq, 8); !reflect.DeepEqual(got, tc.top8) {
+			t.Errorf("%s/%d: top8 %v, want %v", tc.skew, tc.seed, got, tc.top8)
+		}
+	}
+}
+
+// TestGenSkewShape sanity-checks the distributions' shapes (beyond the
+// exact pins): zipfian concentrates mass on few keys, hotspot puts
+// HotOpPct on the hot region, uniform stays flat.
+func TestGenSkewShape(t *testing.T) {
+	const total = 4 * 5000
+	zp := workload.KVParams{Skew: workload.SkewZipfian}.Normalized(1024)
+	zf, _ := genFreq(NewGen(zp, 7), 4, 5000)
+	if top := topKeys(zf, 1); top[0][1] < total/10 {
+		t.Errorf("zipfian top key has %d/%d hits; expected heavy skew", top[0][1], total)
+	}
+
+	hp := workload.KVParams{Skew: workload.SkewHotspot}.Normalized(1024)
+	hf, _ := genFreq(NewGen(hp, 7), 4, 5000)
+	hot := uint64(hp.KeysPerTenant * hp.HotKeyPct / 100)
+	hits := 0
+	for k, n := range hf {
+		if k <= hot {
+			hits += n
+		}
+	}
+	pct := hits * 100 / total
+	if pct < hp.HotOpPct-3 || pct > hp.HotOpPct+3 {
+		t.Errorf("hotspot: %d%% of requests on the hot region, want ~%d%%", pct, hp.HotOpPct)
+	}
+
+	up := workload.KVParams{Skew: workload.SkewUniform}.Normalized(1024)
+	uf, _ := genFreq(NewGen(up, 7), 4, 5000)
+	if top := topKeys(uf, 1); top[0][1] > 3*total/uint64(up.KeysPerTenant) {
+		t.Errorf("uniform top key has %d hits over %d keys", top[0][1], up.KeysPerTenant)
+	}
+}
+
+// TestGenOpMix checks the generated op mix tracks the configured
+// percentages within 1.5 points at 20k requests.
+func TestGenOpMix(t *testing.T) {
+	p := workload.KVParams{}.Normalized(1024)
+	g := NewGen(p, 7)
+	_, ops := genFreq(g, 4, 5000)
+	want := [5]int{p.GetPct, p.SetPct, p.DelPct, p.CASPct, p.ScanPct}
+	const total = 4 * 5000
+	for k, n := range ops {
+		pct := float64(n) * 100 / total
+		if diff := pct - float64(want[k]); diff > 1.5 || diff < -1.5 {
+			t.Errorf("op %d: %.1f%% of requests, want ~%d%%", k, pct, want[k])
+		}
+	}
+}
+
+// TestGenParallelDeterminism proves the request streams are a pure
+// function of (params, seed, thread): concurrent generation at worker
+// counts 1, 2 and 8 must produce byte-identical streams (run under
+// -race, this also proves Gen is safe to share).
+func TestGenParallelDeterminism(t *testing.T) {
+	p := workload.KVParams{}.Normalized(1024)
+	g := NewGen(p, 7)
+	const threads, n = 8, 2000
+	serial := make([][]Request, threads)
+	for th := range serial {
+		serial[th] = g.Stream(th, n)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got := make([][]Request, threads)
+		var wg sync.WaitGroup
+		ch := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for th := range ch {
+					got[th] = g.Stream(th, n)
+				}
+			}()
+		}
+		for th := 0; th < threads; th++ {
+			ch <- th
+		}
+		close(ch)
+		wg.Wait()
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("streams differ at %d workers", workers)
+		}
+	}
+}
+
+// TestGenValWordsInRange checks every request's value size respects the
+// configured bounds and tenants stay in range.
+func TestGenValWordsInRange(t *testing.T) {
+	p := workload.KVParams{MinValWords: 2, MaxValWords: 5}.Normalized(1024)
+	g := NewGen(p, 7)
+	for _, rq := range g.Stream(0, 5000) {
+		if rq.ValWords < 2 || rq.ValWords > 5 {
+			t.Fatalf("value size %d outside [2,5]", rq.ValWords)
+		}
+		if rq.Tenant < 0 || rq.Tenant >= p.Tenants {
+			t.Fatalf("tenant %d outside [0,%d)", rq.Tenant, p.Tenants)
+		}
+		if rq.Key < 1 || rq.Key > uint64(p.KeysPerTenant) {
+			t.Fatalf("key %d outside [1,%d]", rq.Key, p.KeysPerTenant)
+		}
+	}
+}

@@ -64,6 +64,27 @@ func (h *HashMap) Contains(c *memsys.Ctx, key uint64) bool {
 	return b.contains(c, key)
 }
 
+// FindNode returns the address of key's node, or 0 if absent. The kv
+// store uses it to reach a key's value cell for in-place release-CAS
+// updates.
+func (h *HashMap) FindNode(c *memsys.Ctx, key uint64) uint64 {
+	b := h.bucket(key)
+	return b.findNode(c, key)
+}
+
+// InsertNode inserts a node for key with the given initial value word
+// and returns it, or returns the existing node (inserted = false). On
+// insertion the publish CAS is the linearization point and has already
+// been recorded with Ctx.Linearize; on a duplicate no linearization is
+// recorded and the caller owns the op's linearization point.
+func (h *HashMap) InsertNode(c *memsys.Ctx, key, val uint64) (node uint64, inserted bool) {
+	b := h.bucket(key)
+	return b.insertNode(c, key, val)
+}
+
+// NodeValCell returns the address of a list/bucket node's value word.
+func NodeValCell(node uint64) isa.Addr { return addr(node) + nodeVal }
+
 // Buckets exposes the bucket array base and count for recovery.
 func (h *HashMap) Buckets() (isa.Addr, uint64) { return h.buckets, h.nbuckets }
 

@@ -96,6 +96,51 @@ func (l *sortedList) delete(c *memsys.Ctx, key uint64) bool {
 	}
 }
 
+// findNode returns the address of key's unmarked node, or 0 if key is
+// absent. Callers that mutate the node's value word in place (the kv
+// store) get a stable handle: kv nodes are never marked or unlinked, so
+// the address stays valid for the structure's lifetime.
+func (l *sortedList) findNode(c *memsys.Ctx, key uint64) uint64 {
+	curr := c.LoadAcq(l.head)
+	for curr != 0 {
+		k := c.Load(addr(curr) + nodeKey)
+		next := c.LoadAcq(addr(curr) + nodeNext)
+		if k == key {
+			if isMarked(next) {
+				return 0
+			}
+			return curr
+		}
+		if k > key {
+			return 0
+		}
+		curr = clearPtr(next)
+	}
+	return 0
+}
+
+// insertNode is insert returning the node: on success the freshly
+// published node (inserted = true, linearized at the publish CAS), on a
+// duplicate the existing node (inserted = false, no linearization
+// recorded — the caller owns the op's linearization point in that
+// case, typically a CAS on the existing node's value word).
+func (l *sortedList) insertNode(c *memsys.Ctx, key, val uint64) (node uint64, inserted bool) {
+	for {
+		predCell, curr := l.search(c, key)
+		if curr != 0 && c.Load(addr(curr)+nodeKey) == key {
+			return curr, false
+		}
+		n := c.Alloc(nodeSize)
+		c.Store(n+nodeKey, key)
+		c.Store(n+nodeVal, val)
+		c.Store(n+nodeNext, curr)
+		if _, ok := c.CAS(predCell, curr, uint64(n), isa.Release); ok {
+			c.Linearize()
+			return uint64(n), true
+		}
+	}
+}
+
 // contains reports membership without writing.
 func (l *sortedList) contains(c *memsys.Ctx, key uint64) bool {
 	curr := c.LoadAcq(l.head)

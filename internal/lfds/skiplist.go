@@ -218,5 +218,41 @@ func (s *SkipList) Contains(c *memsys.Ctx, key uint64) bool {
 	return false
 }
 
+// Scan walks the bottom level in key order starting at the first key
+// >= from, invoking visit for up to max unmarked nodes (or until visit
+// returns false), and returns the number visited. Like Contains it
+// descends the index read-only; only the bottom level (acquire loads)
+// decides membership.
+func (s *SkipList) Scan(c *memsys.Ctx, from uint64, max int, visit func(key, val uint64) bool) int {
+	predCell := s.headCell(MaxHeight - 1)
+	for level := MaxHeight - 1; level >= 1; level-- {
+		if level != MaxHeight-1 {
+			predCell -= 8 // drop one level within the same tower
+		}
+		for curr := clearPtr(loadLevel(c, predCell, level)); curr != 0; {
+			if c.Load(addr(curr)+slKey) >= from {
+				break
+			}
+			predCell = addr(curr) + slNext(level)
+			curr = clearPtr(loadLevel(c, predCell, level))
+		}
+	}
+	predCell -= 8 // level-0 cell of the rightmost tower left of from
+	visited := 0
+	curr := clearPtr(c.LoadAcq(predCell))
+	for curr != 0 && visited < max {
+		k := c.Load(addr(curr) + slKey)
+		next := c.LoadAcq(addr(curr) + slNext(0))
+		if k >= from && !isMarked(next) {
+			visited++
+			if !visit(k, c.Load(addr(curr)+slVal)) {
+				break
+			}
+		}
+		curr = clearPtr(next)
+	}
+	return visited
+}
+
 // Head exposes the head tower base for the recovery walker.
 func (s *SkipList) Head() isa.Addr { return s.head }

@@ -1,0 +1,104 @@
+// KV-service conformance: the kv workload composes two lfds structures
+// behind one service API with its own recovery walker, so it gets its
+// own cross-mechanism contract on top of the per-structure suite:
+//
+//   - every RP-enforcing mechanism must sweep every crash boundary of a
+//     kv history with a clean recovery walk AND durable linearizability
+//     (get/set/del/cas/scan semantics, torn-value quarantine included);
+//   - ARP — the paper's §3 gap — must reproduce the acked-but-lost
+//     anomaly on the same workload, caught by the dlin checker;
+//   - the sweep's lrpsweep/v1 JSON export must be byte-identical at any
+//     worker count.
+package mech_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lrp"
+)
+
+func kvConformanceSpec() lrp.Spec {
+	return lrp.Spec{
+		Structure: "kv", Threads: 2, InitialSize: 64, OpsPerThread: 50, Seed: 7,
+	}
+}
+
+// kvSweep runs the kv workload under k with history capture and sweeps
+// every crash boundary with recovery and dlin checking.
+func kvSweep(t *testing.T, k lrp.Mechanism, workers int) *lrp.SweepReport {
+	t.Helper()
+	spec := kvConformanceSpec()
+	_, m, rec, h, err := lrp.RunRecoverableWorkloadHist(conformanceConfig(k), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Updates() == 0 {
+		t.Fatalf("kv/%v history recorded no updates", k)
+	}
+	sweep, err := lrp.SweepCrash(m, lrp.SweepOpts{Rec: rec, Hist: h, Workers: workers, Seed: spec.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.DLinChecked == 0 {
+		t.Fatalf("kv/%v sweep checked no boundaries", k)
+	}
+	return sweep
+}
+
+// TestKVSweepConformance holds every RP-enforcing mechanism to the kv
+// contract: consistent cuts, clean recovery walks, durable
+// linearizability at every crash boundary.
+func TestKVSweepConformance(t *testing.T) {
+	for _, k := range lrp.Mechanisms() {
+		if !k.EnforcesRP() {
+			continue
+		}
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			sweep := kvSweep(t, k, 0)
+			if !sweep.Consistent() {
+				t.Fatalf("kv sweep inconsistent: %v", sweep)
+			}
+			if sweep.DLinBad != 0 {
+				t.Fatalf("kv dlin violations: %v\nfirst: %v", sweep, sweep.FirstDLin)
+			}
+		})
+	}
+}
+
+// TestKVARPGap pins the paper's §3 anomaly on the service workload: ARP
+// acknowledges a hot-key Set whose release chain is not yet durable, so
+// some crash boundary recovers without an acknowledged write — the dlin
+// checker must catch it as acked-but-lost.
+func TestKVARPGap(t *testing.T) {
+	sweep := kvSweep(t, lrp.ARP, 0)
+	if sweep.DLinBad == 0 {
+		t.Fatalf("ARP swept the kv workload clean; the §3 gap should reproduce: %v", sweep)
+	}
+	if sweep.FirstDLin == nil || sweep.FirstDLin.V.Class != lrp.DLinAckedLost {
+		t.Fatalf("first kv ARP violation is %+v, want acked-lost", sweep.FirstDLin)
+	}
+}
+
+// TestKVSweepJSONDeterministic asserts the kv sweep's machine-readable
+// export is byte-identical at worker counts 1, 2 and 8.
+func TestKVSweepJSONDeterministic(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 2, 8} {
+		sweep := kvSweep(t, lrp.LRP, workers)
+		var buf bytes.Buffer
+		if err := sweep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("kv sweep JSON differs at %d workers:\n--- 1 worker ---\n%s\n--- %d workers ---\n%s",
+				workers, want, workers, buf.Bytes())
+		}
+	}
+}

@@ -194,6 +194,44 @@ func appendHeader(b []byte, h Header) []byte {
 	u(int64(s.Buckets))
 	u(int64(s.OpWork))
 	b = binary.LittleEndian.AppendUint64(b, s.Seed)
+	if s.Structure == "kv" {
+		// Normalize before encoding: every field goes to the wire
+		// concrete, and Normalized is idempotent, so a run from the
+		// decoded header draws the identical request streams.
+		b = appendKVParams(b, s.KV.Normalized(s.InitialSize))
+	}
+	return b
+}
+
+// kvSkewCode maps a skew name to its wire code (and back): names never
+// hit the wire, so renames can't silently break old traces.
+var kvSkewCode = map[string]uint64{
+	workload.SkewUniform: 0,
+	workload.SkewZipfian: 1,
+	workload.SkewHotspot: 2,
+}
+
+// appendKVParams encodes the kv workload extension: 14 varints
+// appended after the seed, present exactly when Structure is "kv", so
+// every pre-kv trace remains byte-identical.
+func appendKVParams(b []byte, p workload.KVParams) []byte {
+	u := func(v int) {
+		b = binary.AppendUvarint(b, uint64(v))
+	}
+	u(p.Tenants)
+	u(p.KeysPerTenant)
+	u(int(kvSkewCode[p.Skew]))
+	u(p.ThetaMilli)
+	u(p.HotKeyPct)
+	u(p.HotOpPct)
+	u(p.GetPct)
+	u(p.SetPct)
+	u(p.DelPct)
+	u(p.CASPct)
+	u(p.ScanPct)
+	u(p.MinValWords)
+	u(p.MaxValWords)
+	u(p.ScanLen)
 	return b
 }
 
@@ -289,6 +327,43 @@ func parseHeader(p []byte) (Header, error) {
 	}
 	h.Spec.Seed = binary.LittleEndian.Uint64(p[pos:])
 	pos += 8
+	if h.Spec.Structure == "kv" {
+		kf := make([]uint64, 14)
+		for i := range kf {
+			v, err := u()
+			if err != nil {
+				return h, err
+			}
+			if v > 1<<40 {
+				return h, fmt.Errorf("trace: kv field %d out of range (%d)", i, v)
+			}
+			kf[i] = v
+		}
+		kv := &h.Spec.KV
+		kv.Tenants = int(kf[0])
+		kv.KeysPerTenant = int(kf[1])
+		skew, ok := "", false
+		for name, code := range kvSkewCode {
+			if code == kf[2] {
+				skew, ok = name, true
+			}
+		}
+		if !ok {
+			return h, fmt.Errorf("trace: bad kv skew code %d", kf[2])
+		}
+		kv.Skew = skew
+		kv.ThetaMilli = int(kf[3])
+		kv.HotKeyPct = int(kf[4])
+		kv.HotOpPct = int(kf[5])
+		kv.GetPct = int(kf[6])
+		kv.SetPct = int(kf[7])
+		kv.DelPct = int(kf[8])
+		kv.CASPct = int(kf[9])
+		kv.ScanPct = int(kf[10])
+		kv.MinValWords = int(kf[11])
+		kv.MaxValWords = int(kf[12])
+		kv.ScanLen = int(kf[13])
+	}
 	if pos != len(p) {
 		return h, fmt.Errorf("trace: %d trailing header bytes", len(p)-pos)
 	}

@@ -6,6 +6,9 @@ import (
 
 	"lrp/internal/persist"
 	"lrp/internal/workload"
+
+	// Registers the kv workload so its traces can seed the fuzzer.
+	_ "lrp/internal/kv"
 )
 
 // FuzzTraceDecode hardens the trace decoder: arbitrary bytes — and
@@ -33,6 +36,23 @@ func FuzzTraceDecode(f *testing.F) {
 	f.Add([]byte(magic))
 	f.Add([]byte("LRPTRC\x01\xff\xff\xff\xff"))
 	f.Add([]byte{})
+
+	// A kv trace with op-history records seeds the kv header extension
+	// and the post-OpDequeue history kinds (get/set/cas/scan, CAS
+	// expected-value carriage).
+	kvSpec := workload.Spec{
+		Structure: "kv", Threads: 2, InitialSize: 32, OpsPerThread: 16, Seed: 7,
+	}
+	var kvBuf bytes.Buffer
+	if _, _, _, _, _, err := RecordHistory(cfg, kvSpec, &kvBuf); err != nil {
+		f.Fatalf("kv seed trace: %v", err)
+	}
+	kvRaw := kvBuf.Bytes()
+	f.Add(kvRaw)
+	f.Add(kvRaw[:len(kvRaw)/2])
+	kvFlip := bytes.Clone(kvRaw)
+	kvFlip[len(kvFlip)/3] ^= 0x08
+	f.Add(kvFlip)
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		r, err := NewReader(bytes.NewReader(b))

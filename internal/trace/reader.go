@@ -330,7 +330,7 @@ func (r *Reader) decodeOpBegin() error {
 		return err
 	}
 	kind := dlin.Kind(kb)
-	if kind < dlin.OpInsert || kind > dlin.OpDequeue {
+	if kind < dlin.OpInsert || kind > dlin.OpScan {
 		return fmt.Errorf("trace: bad op-history kind %d", kb)
 	}
 	key, err := r.uvarint()
@@ -388,10 +388,17 @@ func (r *Reader) decodeOpEnd() error {
 	if !o.active {
 		return fmt.Errorf("trace: thread %d ends an operation it never began", tid)
 	}
-	r.hist.Ops = append(r.hist.Ops, dlin.Op{
+	op := dlin.Op{
 		Tid: tid, Kind: o.kind, Key: o.key, Val: o.val,
 		OK: okb == 1, Ret: ret, Lin: o.lin, LinSeq: o.linSeq,
-	})
+	}
+	if o.kind == dlin.OpCAS {
+		// A CAS begin record carries the observed expected value in the
+		// value slot and the end record's ret is the new value installed
+		// (see the kv runner): remap them to the Op's Exp/Val fields.
+		op.Exp, op.Val = o.val, ret
+	}
+	r.hist.Ops = append(r.hist.Ops, op)
 	*o = histOpen{}
 	return nil
 }

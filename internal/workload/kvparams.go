@@ -1,0 +1,140 @@
+package workload
+
+import "fmt"
+
+// Key-skew distributions for the kv request generator.
+const (
+	// SkewUniform draws keys uniformly from the key space.
+	SkewUniform = "uniform"
+	// SkewZipfian draws keys from a zipfian distribution with parameter
+	// theta = ThetaMilli/1000 (YCSB's default is 0.99).
+	SkewZipfian = "zipfian"
+	// SkewHotspot sends HotOpPct% of requests to the hottest HotKeyPct%
+	// of the key space, uniform within each region.
+	SkewHotspot = "hotspot"
+)
+
+// KVSkews lists the supported skew names in presentation order.
+var KVSkews = []string{SkewUniform, SkewZipfian, SkewHotspot}
+
+// KVParams parameterizes the kv service workload: per-tenant shards, a
+// skewed key popularity distribution, a get/set/delete/cas/scan op mix,
+// and a value-size distribution. All fields are plain integers (theta
+// is carried in milli-units) so the trace codec can serialize a spec
+// exactly and replays are byte-reproducible.
+//
+// The zero value selects the defaults; Normalized fills them in.
+type KVParams struct {
+	// Tenants is the shard count: each tenant owns a hashmap (point
+	// index) and a skiplist (ordered scans) of its own (default 4).
+	Tenants int
+	// KeysPerTenant is the key-space size of each tenant (default
+	// Spec.InitialSize / Tenants, so InitialSize keeps its "structure
+	// size" meaning across workloads).
+	KeysPerTenant int
+	// Skew is the key popularity distribution: one of KVSkews
+	// (default zipfian).
+	Skew string
+	// ThetaMilli is the zipfian parameter in thousandths (default 990,
+	// i.e. YCSB's theta = 0.99). Ignored unless Skew is zipfian.
+	ThetaMilli int
+	// HotKeyPct / HotOpPct parameterize the hotspot skew: HotOpPct% of
+	// requests target the first HotKeyPct% of the key space (defaults
+	// 10 and 90). Ignored unless Skew is hotspot.
+	HotKeyPct int
+	HotOpPct  int
+	// GetPct/SetPct/DelPct/CASPct/ScanPct is the op mix in percent;
+	// they must sum to 100 (defaults 50/30/5/10/5 — a write-heavy
+	// cache-service mix that keeps CAS contention on the hot keys).
+	GetPct, SetPct, DelPct, CASPct, ScanPct int
+	// MinValWords/MaxValWords bound the value payload size in 8-byte
+	// words; each Set draws uniformly from [Min, Max] (defaults 1, 8).
+	MinValWords, MaxValWords int
+	// ScanLen is the maximum keys visited per scan (default 8).
+	ScanLen int
+}
+
+// kvMixSet reports whether any op-mix percentage was given explicitly.
+func (p KVParams) kvMixSet() bool {
+	return p.GetPct != 0 || p.SetPct != 0 || p.DelPct != 0 || p.CASPct != 0 || p.ScanPct != 0
+}
+
+// Normalized returns p with defaults filled in. initialSize is the
+// Spec.InitialSize used to default the per-tenant key count.
+func (p KVParams) Normalized(initialSize int) KVParams {
+	if p.Tenants == 0 {
+		p.Tenants = 4
+	}
+	if p.KeysPerTenant == 0 {
+		p.KeysPerTenant = initialSize / p.Tenants
+		if p.KeysPerTenant < 16 {
+			p.KeysPerTenant = 16
+		}
+	}
+	if p.Skew == "" {
+		p.Skew = SkewZipfian
+	}
+	if p.ThetaMilli == 0 {
+		p.ThetaMilli = 990
+	}
+	if p.HotKeyPct == 0 {
+		p.HotKeyPct = 10
+	}
+	if p.HotOpPct == 0 {
+		p.HotOpPct = 90
+	}
+	if !p.kvMixSet() {
+		p.GetPct, p.SetPct, p.DelPct, p.CASPct, p.ScanPct = 50, 30, 5, 10, 5
+	}
+	if p.MinValWords == 0 {
+		p.MinValWords = 1
+	}
+	if p.MaxValWords == 0 {
+		p.MaxValWords = 8
+	}
+	if p.ScanLen == 0 {
+		p.ScanLen = 8
+	}
+	return p
+}
+
+// Validate checks a normalized KVParams. It is called by Spec.Validate
+// for the kv workload via the registry hook.
+func (p KVParams) Validate() error {
+	if p.Tenants <= 0 || p.Tenants > 64 {
+		return fmt.Errorf("workload: kv tenants must be 1..64, got %d", p.Tenants)
+	}
+	if p.KeysPerTenant <= 0 {
+		return fmt.Errorf("workload: kv keys-per-tenant must be positive, got %d", p.KeysPerTenant)
+	}
+	okSkew := false
+	for _, s := range KVSkews {
+		if s == p.Skew {
+			okSkew = true
+		}
+	}
+	if !okSkew {
+		return fmt.Errorf("workload: unknown kv skew %q (valid: uniform, zipfian, hotspot)", p.Skew)
+	}
+	if p.ThetaMilli < 1 || p.ThetaMilli > 999 {
+		// The YCSB zipfian closed form needs theta in (0, 1).
+		return fmt.Errorf("workload: kv theta-milli must be 1..999, got %d", p.ThetaMilli)
+	}
+	if p.HotKeyPct < 1 || p.HotKeyPct > 100 || p.HotOpPct < 0 || p.HotOpPct > 100 {
+		return fmt.Errorf("workload: kv hotspot pcts out of range (key=%d op=%d)", p.HotKeyPct, p.HotOpPct)
+	}
+	if sum := p.GetPct + p.SetPct + p.DelPct + p.CASPct + p.ScanPct; sum != 100 {
+		return fmt.Errorf("workload: kv op mix must sum to 100, got %d", sum)
+	}
+	if p.GetPct < 0 || p.SetPct < 0 || p.DelPct < 0 || p.CASPct < 0 || p.ScanPct < 0 {
+		return fmt.Errorf("workload: kv op mix percentages must be nonnegative")
+	}
+	if p.MinValWords < 1 || p.MaxValWords < p.MinValWords || p.MaxValWords > 64 {
+		return fmt.Errorf("workload: kv value words must satisfy 1 <= min <= max <= 64 (min=%d max=%d)",
+			p.MinValWords, p.MaxValWords)
+	}
+	if p.ScanLen < 1 || p.ScanLen > 1024 {
+		return fmt.Errorf("workload: kv scan length must be 1..1024, got %d", p.ScanLen)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package lrp
+
+// Root-level acceptance tests for the kv service workload, at the same
+// scale as the per-structure dlin suite: LRP must sweep a larger kv
+// history clean, and a kv trace recorded under NOP must replay
+// divergence-free under every registered mechanism while carrying the
+// abstract op history (CAS expected values included) through the codec.
+// The small-scale cross-mechanism contract lives in
+// internal/mech/kv_conformance_test.go.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestKVDLinLRPClean pins the headline acceptance criterion: the paper's
+// mechanism sustains durable linearizability for the composed kv service
+// (hashmap index + skiplist scan index + torn-value quarantine) at every
+// crash boundary of a 4-thread, 800-request run.
+func TestKVDLinLRPClean(t *testing.T) {
+	spec := Spec{Structure: "kv", Threads: 4, InitialSize: 128, OpsPerThread: 200, Seed: 7}
+	_, m, rec, h, err := RunRecoverableWorkloadHist(dlinCfg(LRP), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Updates() == 0 {
+		t.Fatal("kv history recorded no updates")
+	}
+	sweep, err := SweepCrash(m, SweepOpts{Rec: rec, Hist: h, Seed: spec.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.DLinChecked == 0 {
+		t.Fatal("sweep checked no boundaries")
+	}
+	if !sweep.Consistent() {
+		t.Fatalf("kv sweep inconsistent under LRP: %v", sweep)
+	}
+	if sweep.DLinBad != 0 {
+		t.Fatalf("kv dlin violations under LRP: %v\nfirst: %v", sweep, sweep.FirstDLin)
+	}
+}
+
+// TestKVTraceCrossMechanism records a kv run under NOP with history and
+// replays the trace under every registered mechanism. Replay itself
+// fails loudly on the first divergent op, so a passing loop is the
+// divergence-free acceptance check; on top of that the replayed history
+// must carry every op, and the CAS ops must keep their observed
+// expected values through the codec round-trip.
+func TestKVTraceCrossMechanism(t *testing.T) {
+	spec := Spec{Structure: "kv", Threads: 4, InitialSize: 128, OpsPerThread: 100, Seed: 7}
+	var buf bytes.Buffer
+	_, _, _, h, sum, err := RecordTraceHist(dlinCfg(NOP), spec, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	casExp := 0
+	for _, o := range h.Ops {
+		if o.Kind.String() == "cas" && o.OK && o.Exp != 0 {
+			casExp++
+		}
+	}
+	if casExp == 0 {
+		t.Fatal("workload produced no successful CAS with an observed expected value")
+	}
+	for _, mech := range Mechanisms() {
+		rep, err := ReplayTrace(bytes.NewReader(buf.Bytes()), ReplayOpts{Mechanism: mech, MechanismSet: true})
+		if err != nil {
+			t.Fatalf("replay under %v diverged: %v", mech, err)
+		}
+		if rep.Checksum != sum.Checksum {
+			t.Fatalf("%v: replay checksum %08x, recorded %08x", mech, rep.Checksum, sum.Checksum)
+		}
+		if rep.History == nil || len(rep.History.Ops) != len(h.Ops) {
+			t.Fatalf("%v: replayed history has %d ops, recorded %d", mech, len(rep.History.Ops), len(h.Ops))
+		}
+		replayedExp := 0
+		for _, o := range rep.History.Ops {
+			if o.Kind.String() == "cas" && o.OK && o.Exp != 0 {
+				replayedExp++
+			}
+		}
+		if replayedExp != casExp {
+			t.Fatalf("%v: %d CAS ops with expected values survived the codec, recorded %d",
+				mech, replayedExp, casExp)
+		}
+	}
+}

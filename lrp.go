@@ -35,6 +35,9 @@ import (
 	"lrp/internal/recovery"
 	"lrp/internal/stats"
 	"lrp/internal/workload"
+
+	// Registers the kv service workload with the workload registry.
+	_ "lrp/internal/kv"
 )
 
 // Core machine types (aliases into the implementation packages; external
@@ -131,6 +134,17 @@ func MechanismTable() []MechanismInfo {
 
 // Structures lists the five workloads in the paper's order.
 var Structures = workload.Structures
+
+// WorkloadNames lists every registered workload (the five paper
+// structures plus service workloads such as kv), in registration order.
+func WorkloadNames() []string { return workload.Names() }
+
+// WorkloadUsage renders the registered workloads as a one-per-line
+// usage string for CLI help text.
+func WorkloadUsage() string { return workload.Usage() }
+
+// KVParams parameterizes the kv service workload (see Spec.KV).
+type KVParams = workload.KVParams
 
 // DefaultConfig mirrors Table 1 of the paper (64 cores, 32KB L1, 64MB
 // NUCA LLC, PCM at 120/350 cycles, 32-entry RET).

@@ -18,6 +18,7 @@ var benchGridSizes = map[string]int{
 	"bstree":     2048,
 	"skiplist":   2048,
 	"queue":      512,
+	"kv":         1024,
 }
 
 // shortBenchWorkloads × shortBenchMechs is the -short grid: a strict
@@ -69,7 +70,11 @@ func (o BenchOpts) withDefaults() BenchOpts {
 		if o.Short {
 			o.Workloads = shortBenchWorkloads
 		} else {
-			o.Workloads = Structures
+			// The full grid covers every registered workload (the five
+			// paper structures plus the kv service); the short grid stays
+			// the pinned two-structure subset so the enforced baseline
+			// intersection compare is untouched by registry growth.
+			o.Workloads = WorkloadNames()
 		}
 	}
 	if o.Mechs == nil {

@@ -186,6 +186,31 @@ func TestParallelPartialFailure(t *testing.T) {
 	}
 }
 
+// TestParallelKVGridDeterministic asserts the kv acceptance guarantee:
+// the KV service grid (skew × threads × mechanism) renders
+// byte-identically at worker counts 1, 2 and 8.
+func TestParallelKVGridDeterministic(t *testing.T) {
+	o := parallelOpts(1)
+	o.Threads = 4
+	o.Cores = 4
+	ref, err := KVGrid(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Format()
+	for _, w := range []int{2, 8} {
+		o.Parallel = w
+		tab, err := KVGrid(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tab.Format(); got != want {
+			t.Errorf("KVGrid differs at %d workers:\n--- serial ---\n%s\n--- %d workers ---\n%s",
+				w, want, w, got)
+		}
+	}
+}
+
 // BenchmarkFig5Parallel measures the worker-pool speedup on the Fig5
 // matrix (20 independent cells). On a multi-core host the 4-worker run
 // should be at least ~2x the serial one; on a single-CPU host the pool
