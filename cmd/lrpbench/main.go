@@ -4,7 +4,7 @@
 // Run the benchmark grid (workload × mechanism × threads at pinned seeds
 // and scales) and write a schema-versioned BENCH_*.json:
 //
-//	lrpbench -out BENCH_1.json
+//	lrpbench -out BENCH_2.json
 //	lrpbench -short -reps 3 -out bench_pr.json     # per-PR smoke grid
 //
 // Each cell runs the identical simulation -reps times (the seed pins the
@@ -32,6 +32,8 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -53,6 +55,7 @@ func main() {
 		seed      = flag.Uint64("seed", 7, "deterministic seed pinning every cell's simulated work")
 		phases    = flag.Bool("phases", true, "record the per-phase host-time breakdown per cell")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on ADDR while the grid runs")
+		memProf   = flag.String("memprofile", "", "write an end-of-grid heap profile to PATH (allocation attribution for bytes_per_op chases)")
 		compare   = flag.Bool("compare", false, "compare two bench files: lrpbench -compare OLD NEW")
 		threshold = flag.Float64("threshold", 0.10, "with -compare: minimum relative delta that can count as a regression")
 		noiseMult = flag.Float64("noise-mult", 3, "with -compare: noise floor multiplier over the files' combined MAD")
@@ -127,6 +130,24 @@ func main() {
 		fail(err)
 	}
 	f.Stamp(time.Now())
+
+	if *memProf != "" {
+		// The profile is written with alloc_space/alloc_objects intact, so
+		// `go tool pprof -sample_index=alloc_space` attributes everything
+		// the grid allocated, not just what is still live after GC.
+		mf, err := os.Create(*memProf)
+		if err != nil {
+			fail(fmt.Errorf("memprofile: %w", err))
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fail(fmt.Errorf("memprofile: %w", err))
+		}
+		if err := mf.Close(); err != nil {
+			fail(fmt.Errorf("memprofile: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "lrpbench: wrote heap profile %s\n", *memProf)
+	}
 
 	if *out != "" {
 		if err := f.WriteFile(*out); err != nil {

@@ -56,6 +56,7 @@ func main() {
 		run        = flag.String("run", "", "run a single workload: "+strings.Join(lrp.WorkloadNames(), "|"))
 		mechanism  = flag.String("mechanism", "LRP", "mechanism for -run: "+strings.Join(lrp.MechanismNames(), "|"))
 		threads    = flag.Int("threads", 16, "worker threads")
+		cores      = flag.Int("cores", 0, "with -run: simulated cores (0: max(threads, 16))")
 		ops        = flag.Int("ops", 100, "operations per thread in the measured window")
 		size       = flag.Int("size", 0, "initial structure size for -run (0 = experiment default)")
 		scale      = flag.Float64("scale", 1.0, "size scale factor for experiments")
@@ -108,7 +109,7 @@ func main() {
 			fail(err)
 		}
 	case *run != "":
-		if err := runOne(*run, *mechanism, *threads, *ops, *size, *seed, *uncached, *tracePath, *recordPath, *metrics, *jsonOut, *perfOn); err != nil {
+		if err := runOne(*run, *mechanism, *threads, *cores, *ops, *size, *seed, *uncached, *tracePath, *recordPath, *metrics, *jsonOut, *perfOn); err != nil {
 			fail(err)
 		}
 	case *experiment != "":
@@ -262,7 +263,7 @@ func replayTrace(path, mechName string, mechSet, metrics, jsonOut bool) error {
 	return nil
 }
 
-func runOne(structure, mechName string, threads, ops, size int, seed uint64, uncached bool, tracePath, recordPath string, metrics, jsonOut, perfOn bool) error {
+func runOne(structure, mechName string, threads, cores, ops, size int, seed uint64, uncached bool, tracePath, recordPath string, metrics, jsonOut, perfOn bool) error {
 	k, err := lrp.ParseMechanism(mechName)
 	if err != nil {
 		return err
@@ -271,6 +272,12 @@ func runOne(structure, mechName string, threads, ops, size int, seed uint64, unc
 	cfg.Cores = threads
 	if cfg.Cores < 16 {
 		cfg.Cores = 16
+	}
+	if cores > 0 {
+		if cores < threads {
+			return fmt.Errorf("-cores %d is fewer than -threads %d", cores, threads)
+		}
+		cfg.Cores = cores
 	}
 	if uncached {
 		cfg.NVM.Mode = 1
@@ -319,12 +326,14 @@ func runOne(structure, mechName string, threads, ops, size int, seed uint64, unc
 			return err
 		}
 	}
-	if prof != nil {
-		// Host-time gauges (host/<phase>_ns, host/<phase>_regions) join
-		// the registry so -metrics and -json carry the phase breakdown.
-		if reg := m.Observer().Registry(); reg != nil {
+	if reg := m.Observer().Registry(); reg != nil {
+		if prof != nil {
+			// Host-time gauges (host/<phase>_ns, host/<phase>_regions) join
+			// the registry so -metrics and -json carry the phase breakdown.
 			prof.PublishGauges(reg)
 		}
+		// Stamp-arena footprint (host/arena_*) rides along the same way.
+		m.PublishArenaGauges(reg)
 	}
 	if !jsonOut {
 		fmt.Printf("workload        %s\n", structure)

@@ -1,0 +1,190 @@
+// Command lrpvet checks the repository for unannotated iteration over Go
+// maps in production code. Go randomizes map iteration order, so a map
+// `range` that feeds any deterministic artifact — trace output, crash
+// images, the NVM event log, JSON reports — is a reproducibility bug
+// that golden tests only catch by luck. The simulator's hot state
+// therefore lives in ordered flat tables (internal/flat), and the few
+// legitimate map walks left must say why they are safe:
+//
+//	// maprange:ok — aggregation is order-independent
+//	for k, v := range m { ... }
+//
+// The annotation goes on the range line or the line above it. Any map
+// range without one fails the check (CI runs `go run ./cmd/lrpvet`).
+//
+// Detection is per-file AST analysis without full type checking: a range
+// is flagged when its operand's name is declared as a map anywhere in
+// the same file (var/field/param declarations, make(map[...]), or map
+// composite literals). That covers the realistic regression — reading a
+// struct's own map field — without external tooling.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+const marker = "maprange:ok"
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var bad []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		sites, err := checkFile(path)
+		if err != nil {
+			return err
+		}
+		bad = append(bad, sites...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrpvet: %v\n", err)
+		os.Exit(2)
+	}
+	if len(bad) > 0 {
+		for _, s := range bad {
+			fmt.Println(s)
+		}
+		fmt.Fprintf(os.Stderr, "lrpvet: %d unannotated map range(s); map iteration order is randomized — use an ordered flat table, sort the keys, or annotate the line with `// %s — <why order cannot matter>`\n", len(bad), marker)
+		os.Exit(1)
+	}
+}
+
+func checkFile(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: every name this file declares with a map type.
+	mapNames := map[string]bool{}
+	noteField := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, fd := range fl.List {
+			if isMapType(fd.Type) {
+				for _, n := range fd.Names {
+					mapNames[n.Name] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			noteField(n.Fields)
+		case *ast.FuncType:
+			noteField(n.Params)
+			noteField(n.Results)
+		case *ast.ValueSpec:
+			if isMapType(n.Type) {
+				for _, name := range n.Names {
+					mapNames[name.Name] = true
+				}
+			}
+			for i, v := range n.Values {
+				if i < len(n.Names) && isMapExpr(v) {
+					mapNames[n.Names[i].Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) && isMapExpr(rhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						mapNames[id.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(mapNames) == 0 {
+		return nil, nil
+	}
+
+	// Lines carrying an annotation (trailing or on their own).
+	annotated := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, marker) {
+				annotated[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+
+	var bad []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		name := operandName(rs.X)
+		if name == "" || !mapNames[name] {
+			return true
+		}
+		line := fset.Position(rs.Pos()).Line
+		if annotated[line] || annotated[line-1] {
+			return true
+		}
+		bad = append(bad, fmt.Sprintf("%s:%d: range over map %q without a %s annotation", path, line, name, marker))
+		return true
+	})
+	return bad, nil
+}
+
+// operandName returns the rightmost identifier of a range operand:
+// `m` for `range m`, `field` for `range s.field`.
+func operandName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.ParenExpr:
+		return operandName(e.X)
+	}
+	return ""
+}
+
+func isMapType(e ast.Expr) bool {
+	_, ok := e.(*ast.MapType)
+	return ok
+}
+
+// isMapExpr reports whether an expression evidently builds a map:
+// make(map[...]...) or a map composite literal.
+func isMapExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+			return isMapType(e.Args[0])
+		}
+	case *ast.CompositeLit:
+		return isMapType(e.Type)
+	}
+	return false
+}

@@ -6,6 +6,7 @@ import (
 
 	"lrp/internal/isa"
 	"lrp/internal/model"
+	"lrp/internal/persist"
 )
 
 func line(n int) isa.Addr { return isa.Addr(n * isa.LineSize) }
@@ -97,12 +98,14 @@ func TestL1Invalidate(t *testing.T) {
 	a := line(3)
 	slot := c.Victim(a)
 	c.Fill(slot, a, Modified)
+	arena := persist.NewStampArena()
 	l := c.Lookup(a)
-	l.Stamps = append(l.Stamps, model.Stamp{Tid: 1, Seq: 7})
+	l.AppendStamp(arena, model.Stamp{Tid: 1, Seq: 7})
 	old, ok := c.Invalidate(a)
-	if !ok || old.State != Modified || len(old.Stamps) != 1 {
+	if !ok || old.State != Modified || old.StampLen() != 1 {
 		t.Fatalf("invalidate returned %+v, %v", old, ok)
 	}
+	FreeStamps(arena, &old)
 	if c.Lookup(a) != nil {
 		t.Fatal("line still present after invalidate")
 	}
@@ -113,14 +116,15 @@ func TestL1Invalidate(t *testing.T) {
 
 func TestL1ScanAndCountDirty(t *testing.T) {
 	c := NewL1(1024, 2)
+	arena := persist.NewStampArena()
 	for i := 0; i < 5; i++ {
 		a := line(i)
 		slot := c.Victim(a)
 		c.Fill(slot, a, Modified)
 		if i%2 == 0 {
 			l := c.Lookup(a)
-			l.Pending = true
-			l.Stamps = []model.Stamp{{Tid: 0, Seq: uint64(i + 1)}}
+			c.MarkPending(l)
+			l.AppendStamp(arena, model.Stamp{Tid: 0, Seq: uint64(i + 1)})
 		}
 	}
 	if got := c.CountDirty(); got != 3 {
@@ -138,8 +142,9 @@ func TestLineClassification(t *testing.T) {
 	if l.NeedsPersist() || l.OnlyWritten() || l.Released() {
 		t.Fatal("clean line misclassified")
 	}
+	arena := persist.NewStampArena()
 	l.Pending = true
-	l.Stamps = []model.Stamp{{Tid: 0, Seq: 1}}
+	l.AppendStamp(arena, model.Stamp{Tid: 0, Seq: 1})
 	if !l.OnlyWritten() || l.Released() {
 		t.Fatal("only-written line misclassified")
 	}
@@ -148,10 +153,11 @@ func TestLineClassification(t *testing.T) {
 		t.Fatal("released line misclassified")
 	}
 	st := l.TakeStamps()
-	if len(st) != 1 || l.Stamps != nil {
+	if st.Len() != 1 || l.StampLen() != 0 {
 		t.Fatal("TakeStamps broken")
 	}
-	l.ClearPersistMeta()
+	arena.Free(&st)
+	l.ClearPersistMeta(arena)
 	if l.NeedsPersist() || l.Release || l.MinEpoch != 0 || l.Pending {
 		t.Fatal("ClearPersistMeta incomplete")
 	}
@@ -370,4 +376,116 @@ func TestDirectoryBounds(t *testing.T) {
 	d := NewDirectory(4)
 	d.RemoveSharer(line(0), 1)
 	d.DropCore(line(0), 1)
+}
+
+// ScanPending must visit exactly the pending lines, in the same slot
+// order Scan would, and lazily retire bits for lines that stopped
+// pending without going through the bitmap.
+func TestL1ScanPendingOrder(t *testing.T) {
+	c := NewL1(1024, 2)
+	arena := persist.NewStampArena()
+	for i := 0; i < 10; i++ {
+		a := line(i)
+		c.Fill(c.Victim(a), a, Modified)
+		if i%3 != 0 {
+			c.MarkPending(c.Lookup(a))
+		}
+	}
+	var wantAddrs []isa.Addr
+	c.Scan(func(l *Line) {
+		if l.NeedsPersist() {
+			wantAddrs = append(wantAddrs, l.Addr)
+		}
+	})
+	var got []isa.Addr
+	c.ScanPending(func(l *Line) { got = append(got, l.Addr) })
+	if len(got) != len(wantAddrs) {
+		t.Fatalf("ScanPending visited %v, want %v", got, wantAddrs)
+	}
+	for i := range wantAddrs {
+		if got[i] != wantAddrs[i] {
+			t.Fatalf("ScanPending order %v, want %v", got, wantAddrs)
+		}
+	}
+
+	// Clear one line's metadata directly (the persist path) and
+	// invalidate another: their stale bits must be skipped and retired.
+	first := c.Lookup(got[0])
+	first.ClearPersistMeta(arena)
+	c.Invalidate(got[1])
+	var after []isa.Addr
+	c.ScanPending(func(l *Line) { after = append(after, l.Addr) })
+	if len(after) != len(got)-2 {
+		t.Fatalf("after clear+invalidate: %v", after)
+	}
+	if got := c.CountDirty(); got != len(after) {
+		t.Fatalf("CountDirty = %d, want %d", got, len(after))
+	}
+	// Re-marking a line must work after its bit was lazily retired.
+	c.MarkPending(first)
+	if got := c.CountDirty(); got != len(after)+1 {
+		t.Fatalf("CountDirty after re-mark = %d", got)
+	}
+}
+
+// A line persisted from inside ScanPending's own callback (the engine
+// does exactly this) must not leave a stale bit behind.
+func TestL1ScanPendingClearsInsideCallback(t *testing.T) {
+	c := NewL1(1024, 2)
+	arena := persist.NewStampArena()
+	a := line(4)
+	c.Fill(c.Victim(a), a, Modified)
+	c.MarkPending(c.Lookup(a))
+	c.ScanPending(func(l *Line) { l.ClearPersistMeta(arena) })
+	n := 0
+	c.ScanPending(func(*Line) { n++ })
+	if n != 0 {
+		t.Fatalf("stale pending bit survived in-callback clear")
+	}
+}
+
+func TestDirectoryForEachSharer(t *testing.T) {
+	d := NewDirectory(64)
+	a := line(2)
+	for _, core := range []int{0, 5, 63} {
+		d.AddSharer(a, core)
+	}
+	var got []int
+	d.Entry(a).ForEachSharer(func(core int) { got = append(got, core) })
+	want := []int{0, 5, 63}
+	if len(got) != len(want) {
+		t.Fatalf("ForEachSharer = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEachSharer = %v, want %v", got, want)
+		}
+	}
+	// The hot-path walk must not allocate.
+	e := d.Entry(a)
+	if n := testing.AllocsPerRun(10, func() {
+		e.ForEachSharer(func(int) {})
+	}); n != 0 {
+		t.Fatalf("ForEachSharer allocated %.0f times", n)
+	}
+}
+
+// DirtyLines feeds drain persists (and through them crash images), so
+// its order must be canonical regardless of set materialization order.
+func TestLLCDirtyLinesSorted(t *testing.T) {
+	c := NewLLC(1<<20, 16, 4)
+	for _, i := range []int{900, 3, 512, 77, 10_000} {
+		a := line(i)
+		c.Fill(a)
+		c.MarkDirty(a)
+	}
+	got := c.DirtyLines()
+	if len(got) != 5 {
+		t.Fatalf("DirtyLines = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("DirtyLines not sorted: %v", got)
+		}
+	}
 }

@@ -2,7 +2,9 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
+	"lrp/internal/flat"
 	"lrp/internal/isa"
 	"lrp/internal/obs"
 )
@@ -21,21 +23,32 @@ type DirEntry struct {
 // HasSharers reports whether any core holds a Shared copy.
 func (e *DirEntry) HasSharers() bool { return e.Sharers != 0 }
 
-// SharerList expands the bitmap into core ids.
+// ForEachSharer calls fn for each sharing core in ascending id order,
+// without allocating (the invalidation hot path).
+func (e *DirEntry) ForEachSharer(fn func(core int)) {
+	for b := e.Sharers; b != 0; b &= b - 1 {
+		fn(bits.TrailingZeros64(b))
+	}
+}
+
+// SharerList expands the bitmap into core ids. It allocates; hot paths
+// use ForEachSharer — this remains for tests and reports.
 func (e *DirEntry) SharerList() []int {
 	var out []int
-	for i := 0; i < 64; i++ {
-		if e.Sharers&(1<<uint(i)) != 0 {
-			out = append(out, i)
-		}
-	}
+	e.ForEachSharer(func(core int) { out = append(out, core) })
 	return out
 }
 
 // Directory is the full-map coherence directory co-located with the LLC
-// banks. Entries materialize on first touch.
+// banks. Entries materialize on first touch, held inline in an
+// open-addressing flat table — no per-entry heap allocation, no pointer
+// chase on the hot lookup.
+//
+// Pointer validity: a *DirEntry from Entry/Peek is valid only until the
+// next entry materializes (table growth moves entries). The coherence
+// protocol re-fetches entries across any call that can create one.
 type Directory struct {
-	entries map[isa.Addr]*DirEntry
+	entries flat.Table[DirEntry]
 	cores   int
 
 	// o feeds directory metrics; nil unless SetObserver was called.
@@ -47,27 +60,36 @@ func NewDirectory(cores int) *Directory {
 	if cores <= 0 || cores > 64 {
 		panic(fmt.Sprintf("cache: directory supports 1..64 cores, got %d", cores))
 	}
-	return &Directory{entries: make(map[isa.Addr]*DirEntry), cores: cores}
+	return &Directory{cores: cores}
 }
 
 // SetObserver attaches the observability layer.
 func (d *Directory) SetObserver(o *obs.Observer) { d.o = o }
 
 // Entry returns the entry for a line, creating an empty one on demand.
+// The common hit takes one probe; creation (and its observer callback)
+// is outlined off the hot path.
 func (d *Directory) Entry(line isa.Addr) *DirEntry {
-	e := d.entries[line]
-	if e == nil {
-		e = &DirEntry{Owner: NoOwner}
-		d.entries[line] = e
-		if d.o != nil {
-			d.o.DirEntryCreated()
-		}
+	if e := d.entries.Ptr(uint64(line)); e != nil {
+		return e
+	}
+	return d.createEntry(line)
+}
+
+//go:noinline
+func (d *Directory) createEntry(line isa.Addr) *DirEntry {
+	e, _ := d.entries.Upsert(uint64(line))
+	e.Owner = NoOwner
+	if d.o != nil {
+		d.o.DirEntryCreated()
 	}
 	return e
 }
 
 // Peek returns the entry if it exists, without creating it.
-func (d *Directory) Peek(line isa.Addr) *DirEntry { return d.entries[line] }
+func (d *Directory) Peek(line isa.Addr) *DirEntry {
+	return d.entries.Ptr(uint64(line))
+}
 
 // SetOwner records core as the exclusive owner, clearing all sharers.
 func (d *Directory) SetOwner(line isa.Addr, core int) {
@@ -96,7 +118,7 @@ func (d *Directory) ClearOwner(line isa.Addr, keepAsSharer bool) {
 // RemoveSharer drops core from the sharer set (an invalidation message).
 func (d *Directory) RemoveSharer(line isa.Addr, core int) {
 	d.check(core)
-	if e := d.entries[line]; e != nil {
+	if e := d.entries.Ptr(uint64(line)); e != nil {
 		if d.o != nil && e.Sharers&(1<<uint(core)) != 0 {
 			d.o.DirInvalidation()
 		}
@@ -107,7 +129,7 @@ func (d *Directory) RemoveSharer(line isa.Addr, core int) {
 // DropCore removes any record of core holding the line (eviction).
 func (d *Directory) DropCore(line isa.Addr, core int) {
 	d.check(core)
-	e := d.entries[line]
+	e := d.entries.Ptr(uint64(line))
 	if e == nil {
 		return
 	}

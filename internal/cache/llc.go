@@ -2,7 +2,9 @@ package cache
 
 import (
 	"fmt"
+	"slices"
 
+	"lrp/internal/flat"
 	"lrp/internal/isa"
 	"lrp/internal/obs"
 )
@@ -27,10 +29,16 @@ type llcLine struct {
 	lru   uint64
 }
 
-// LLC is the shared, banked last-level cache. Sets materialize lazily so
-// a 64 MiB LLC costs memory proportional to its working set only.
+// LLC is the shared, banked last-level cache. Sets materialize lazily as
+// contiguous ways-blocks located through a flat set index — so a 64 MiB
+// LLC costs memory proportional to its working set only (a dense per-set
+// array alone would be megabytes), and the hot probe is one
+// open-addressing lookup instead of a map access. Each block is its own
+// allocation: a shared growing arena would churn copy garbage as the
+// working set expands, which the bench gate's bytes_per_op would see.
 type LLC struct {
-	sets  map[uint64][]llcLine
+	// sets maps set index → the set's materialized ways-block.
+	sets  flat.Table[[]llcLine]
 	nsets uint64
 	ways  int
 	tick  uint64
@@ -53,7 +61,6 @@ func NewLLC(sizeBytes, ways, banks int) *LLC {
 		panic(fmt.Sprintf("cache: LLC set count %d not a power of two", nsets))
 	}
 	return &LLC{
-		sets:  make(map[uint64][]llcLine),
 		nsets: uint64(nsets),
 		ways:  ways,
 		banks: banks,
@@ -86,13 +93,19 @@ func (c *LLC) setIndex(line isa.Addr) uint64 {
 	return l % c.nsets
 }
 
+// setFor returns the line's ways-block, materializing it when create is
+// set.
 func (c *LLC) setFor(line isa.Addr, create bool) []llcLine {
 	idx := c.setIndex(line)
-	s := c.sets[idx]
-	if s == nil && create {
-		s = make([]llcLine, c.ways)
-		c.sets[idx] = s
+	if p := c.sets.Ptr(idx); p != nil {
+		return *p
 	}
+	if !create {
+		return nil
+	}
+	s := make([]llcLine, c.ways)
+	p, _ := c.sets.Upsert(idx)
+	*p = s
 	return s
 }
 
@@ -185,16 +198,21 @@ func (c *LLC) MarkClean(line isa.Addr) {
 	}
 }
 
-// DirtyLines returns the addresses of all dirty lines (NOP drain).
+// DirtyLines returns the addresses of all dirty lines (NOP drain), in
+// ascending address order. The table walk visits sets in probe order —
+// deterministic for a given simulation but not canonical — so the sort
+// pins the order output-feeding consumers see.
 func (c *LLC) DirtyLines() []isa.Addr {
 	var out []isa.Addr
-	for _, s := range c.sets {
-		for i := range s {
-			if s[i].valid && s[i].dirty {
-				out = append(out, s[i].addr)
+	c.sets.Range(func(_ uint64, s *[]llcLine) bool {
+		for i := range *s {
+			if (*s)[i].valid && (*s)[i].dirty {
+				out = append(out, (*s)[i].addr)
 			}
 		}
-	}
+		return true
+	})
+	slices.Sort(out)
 	return out
 }
 

@@ -263,10 +263,10 @@ func (p *Pass) compareSet(at engine.Time, rep *recovery.Report) []Violation {
 		got = rep.Set.Members
 	}
 	var keys []uint64
-	for k := range p.set {
+	for k := range p.set { // maprange:ok — keys are sorted below before any output
 		keys = append(keys, k)
 	}
-	for k := range got {
+	for k := range got { // maprange:ok — keys are sorted below before any output
 		if _, ok := p.set[k]; !ok {
 			keys = append(keys, k)
 		}

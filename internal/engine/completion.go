@@ -1,40 +1,65 @@
 package engine
 
-import "container/heap"
-
 // CompletionSet tracks the completion times of in-flight asynchronous
 // operations (outstanding persists, pending write-backs). It answers the
 // two questions the LRP persist engine needs: "how many operations are
 // still pending at time t?" (the pending-persists counter) and "when will
 // everything currently in flight have completed?" (the time a full drain
 // must wait for).
+//
+// The min-heap is hand-rolled over []Time rather than container/heap:
+// the interface-based API boxes every pushed and popped value, which put
+// two heap allocations on every persist issue/retire pair.
 type CompletionSet struct {
-	h timeHeap
-}
-
-type timeHeap []Time
-
-func (h timeHeap) Len() int            { return len(h) }
-func (h timeHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h timeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timeHeap) Push(x interface{}) { *h = append(*h, x.(Time)) }
-func (h *timeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	h []Time
 }
 
 // Add records an operation that completes at time t.
-func (c *CompletionSet) Add(t Time) { heap.Push(&c.h, t) }
+func (c *CompletionSet) Add(t Time) {
+	c.h = append(c.h, t)
+	i := len(c.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if c.h[p] <= c.h[i] {
+			break
+		}
+		c.h[p], c.h[i] = c.h[i], c.h[p]
+		i = p
+	}
+}
+
+// popMin removes and returns the earliest completion. Callers check
+// emptiness first.
+func (c *CompletionSet) popMin() Time {
+	min := c.h[0]
+	n := len(c.h) - 1
+	c.h[0] = c.h[n]
+	c.h = c.h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && c.h[r] < c.h[l] {
+			m = r
+		}
+		if c.h[i] <= c.h[m] {
+			break
+		}
+		c.h[i], c.h[m] = c.h[m], c.h[i]
+		i = m
+	}
+	return min
+}
 
 // DrainUpTo discards completions at or before now and returns how many
 // were discarded. Callers use the count to decrement pending counters.
 func (c *CompletionSet) DrainUpTo(now Time) int {
 	n := 0
 	for len(c.h) > 0 && c.h[0] <= now {
-		heap.Pop(&c.h)
+		c.popMin()
 		n++
 	}
 	return n
@@ -78,7 +103,7 @@ func (c *CompletionSet) ReleaseSlots(now Time, maxOutstanding int) Time {
 	t := now
 	for len(c.h) > maxOutstanding {
 		t = c.h[0]
-		heap.Pop(&c.h)
+		c.popMin()
 	}
 	if t < now {
 		t = now

@@ -43,6 +43,11 @@ type arpMech struct {
 	buffer [][]arpEntry
 	drain  []engine.Time
 	epoch  []uint32
+
+	// stampPool recycles drained entries' stamp slices so steady-state
+	// buffering allocates nothing (the simulator is single-threaded, so
+	// one pool serves every tid).
+	stampPool [][]model.Stamp
 }
 
 func newARP(sv SystemView) Mechanism {
@@ -63,41 +68,42 @@ func (m *arpMech) Kind() persist.Kind { return persist.ARP }
 func (m *arpMech) drainEpochs(tid int, upTo uint32, now engine.Time) engine.Time {
 	sv := m.sv
 	for {
-		// Find the oldest epoch still buffered below upTo.
-		oldest := upTo
-		for _, e := range m.buffer[tid] {
-			if e.epoch < oldest {
-				oldest = e.epoch
-			}
-		}
-		if oldest == upTo {
+		// Entries are appended with the thread's then-current epoch and
+		// the epoch id only advances, so the buffer is nondecreasing in
+		// epoch: the oldest epoch is a prefix, and draining it is an
+		// in-place split — no fresh kept/entries slices per drain.
+		buf := m.buffer[tid]
+		if len(buf) == 0 || buf[0].epoch >= upTo {
 			return m.drain[tid]
+		}
+		oldest := buf[0].epoch
+		k := 1
+		for k < len(buf) && buf[k].epoch == oldest {
+			k++
 		}
 		// Issue this epoch's entries concurrently, in address order,
 		// behind the previous epoch's final ack.
-		issue := engine.Max(now, m.drain[tid])
-		var kept []arpEntry
-		var entries []arpEntry
-		for _, e := range m.buffer[tid] {
-			if e.epoch == oldest {
-				entries = append(entries, e)
-			} else {
-				kept = append(kept, e)
-			}
-		}
+		entries := buf[:k]
 		for i := 1; i < len(entries); i++ {
 			for j := i; j > 0 && entries[j].line < entries[j-1].line; j-- {
 				entries[j], entries[j-1] = entries[j-1], entries[j]
 			}
 		}
+		issue := engine.Max(now, m.drain[tid])
 		horizon := m.drain[tid]
-		for _, e := range entries {
+		for i := range entries {
+			e := &entries[i]
 			done := sv.PersistAddr(tid, e.line, e.stamps, now, issue, false)
 			if done > horizon {
 				horizon = done
 			}
+			if e.stamps != nil {
+				m.stampPool = append(m.stampPool, e.stamps[:0])
+				e.stamps = nil
+			}
 		}
-		m.buffer[tid] = kept
+		n := copy(buf, buf[k:])
+		m.buffer[tid] = buf[:n]
 		m.drain[tid] = horizon
 	}
 }
@@ -121,7 +127,11 @@ func (m *arpMech) OnStamped(tid int, l *cache.Line, addr isa.Addr, val uint64, s
 	if !coalesced {
 		var stamps []model.Stamp
 		if !st.IsZero() {
-			stamps = []model.Stamp{st}
+			if n := len(m.stampPool); n > 0 {
+				stamps = m.stampPool[n-1]
+				m.stampPool = m.stampPool[:n-1]
+			}
+			stamps = append(stamps, st)
 		}
 		m.buffer[tid] = append(m.buffer[tid], arpEntry{line: l.Addr, epoch: m.epoch[tid], stamps: stamps})
 	}
@@ -132,15 +142,9 @@ func (m *arpMech) OnStamped(tid int, l *cache.Line, addr isa.Addr, val uint64, s
 		m.flag[tid] = true
 	}
 	// Capacity pressure: the buffer stalls the core until the oldest
-	// epoch drains.
+	// epoch (the buffer's epoch-sorted head) drains.
 	if len(m.buffer[tid]) > m.sv.ARPBufferCap() {
-		oldest := m.epoch[tid]
-		for _, e := range m.buffer[tid] {
-			if e.epoch < oldest {
-				oldest = e.epoch
-			}
-		}
-		ack := m.drainEpochs(tid, oldest+1, now)
+		ack := m.drainEpochs(tid, m.buffer[tid][0].epoch+1, now)
 		if ack > now {
 			now = ack
 		}

@@ -64,9 +64,7 @@ func (m *eadrMech) OnStamped(tid int, l *cache.Line, addr isa.Addr, val uint64, 
 		// The store is durable as of m.seq; consume its stamp so no NVM
 		// write-back path re-marks it later.
 		m.sv.SetPersisted(st, m.seq)
-		if n := len(l.Stamps); n > 0 {
-			l.Stamps = l.Stamps[:n-1]
-		}
+		m.sv.DropLastStamp(l)
 		m.log = append(m.log, eadrWrite{addr: addr, val: val, at: m.seq})
 		if release {
 			m.instants = append(m.instants, m.seq)

@@ -22,6 +22,13 @@ import (
 type lrpMech struct {
 	NoCrashState
 	sv SystemView
+
+	// scanRefs and sched are persistReleased's reusable storage: the
+	// engine runs once per triggered release, so per-run allocation would
+	// dominate the persist path. scanRefs parallels the ScanDirty scratch
+	// (LineRef.Slot indexes into it); sched is refilled in place.
+	scanRefs []persist.LineRef
+	sched    persist.Schedule
 }
 
 func newLRP(sv SystemView) Mechanism { return &lrpMech{sv: sv} }
@@ -39,21 +46,22 @@ func (m *lrpMech) persistReleased(tid int, l *cache.Line, now engine.Time, criti
 	// ordering hold rides on the returned ack times, so the run's persists
 	// land later but in the same order.
 	now = sv.FaultStall(tid, now)
-	trigger := persist.LineRef{Addr: l.Addr, MinEpoch: l.MinEpoch, Released: true}
+	trigger := persist.LineRef{Addr: l.Addr, MinEpoch: l.MinEpoch, Released: true, Slot: -1}
 
-	// Scan the L1 (§5.2.2: the engine examines all cache lines).
-	byAddr := make(map[isa.Addr]*cache.Line)
-	var scanned []persist.LineRef
-	sv.ScanL1(tid, func(cl *cache.Line) {
-		if cl.NeedsPersist() {
-			scanned = append(scanned, persist.LineRef{
-				Addr: cl.Addr, MinEpoch: cl.MinEpoch, Released: cl.Released(),
-			})
-			byAddr[cl.Addr] = cl
-		}
-	})
-	sched := persist.BuildSchedule(trigger, scanned)
-	sv.NoteEngineScan(tid, len(scanned), len(sched.Releases), now)
+	// Scan the L1 (§5.2.2: the engine examines all cache lines — the
+	// pending bitmap narrows that to the lines holding unpersisted
+	// writes, in the same order). Each ref's Slot indexes the scratch
+	// line slice, replacing the per-run address map.
+	lines := sv.ScanDirty(tid)
+	refs := m.scanRefs[:0]
+	for i, cl := range lines {
+		refs = append(refs, persist.LineRef{
+			Addr: cl.Addr, MinEpoch: cl.MinEpoch, Released: cl.Released(), Slot: int32(i),
+		})
+	}
+	m.scanRefs = refs
+	persist.BuildScheduleInto(&m.sched, trigger, refs)
+	sv.NoteEngineScan(tid, len(refs), len(m.sched.Releases), now)
 
 	// Only-written lines persist immediately and concurrently; the
 	// pending-persists counter tracks them. The engine also waits for
@@ -61,9 +69,9 @@ func (m *lrpMech) persistReleased(tid int, l *cache.Line, now engine.Time, criti
 	pending := sv.Pending(tid)
 	pending.DrainUpTo(now)
 	horizon := pending.MaxTime(now)
-	for _, w := range sched.Writes {
+	for _, w := range m.sched.Writes {
 		addr := w.Addr
-		done := sv.PersistL1Line(tid, byAddr[addr], now, now, critical)
+		done := sv.PersistL1Line(tid, lines[w.Slot], now, now, critical)
 		pending.Add(done)
 		sv.BlockLine(addr, done) // directory holds the line until the ack (I4)
 		if done > horizon {
@@ -73,10 +81,10 @@ func (m *lrpMech) persistReleased(tid int, l *cache.Line, now engine.Time, criti
 	// Released lines persist only after the counter drains, in epoch
 	// order, each waiting for the previous ack.
 	t := horizon
-	for _, r := range sched.Releases {
-		cl := byAddr[r.Addr]
-		if cl == nil {
-			cl = l
+	for _, r := range m.sched.Releases {
+		cl := l // the trigger itself (Slot -1) is appended last
+		if r.Slot >= 0 {
+			cl = lines[r.Slot]
 		}
 		sv.RET(tid).RemoveAt(cl.Addr, now)
 		addr := cl.Addr

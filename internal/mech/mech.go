@@ -137,6 +137,10 @@ type SystemView interface {
 	FlushAllDirty(tid int, now engine.Time, critical bool) engine.Time
 	// BlockLine holds directory requests to a line until t (I4).
 	BlockLine(line isa.Addr, t engine.Time)
+	// DropLastStamp removes a line's most recently appended happens-
+	// before stamp from the system's stamp arena (eADR consumes the
+	// stamp of a write it made durable at store time).
+	DropLastStamp(l *cache.Line)
 	// FaultStall injects a configured persist-engine stall (no-op on
 	// the idealized machine), returning the delayed start time.
 	FaultStall(tid int, now engine.Time) engine.Time

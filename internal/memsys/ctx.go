@@ -187,10 +187,15 @@ func (s *System) Drain() engine.Time {
 	}
 	if s.mech.LLCEvictPersists() {
 		now := s.Time()
-		for line, stamps := range s.llcStamps {
-			s.persistAddr(-1, line, stamps, now, now, false)
+		// Ordered walk (not Range): drain persists feed the NVM event log
+		// and hence crash images, so iteration order must be canonical.
+		s.drainKeys = s.llcStamps.Keys(s.drainKeys)
+		for _, k := range s.drainKeys {
+			line := isa.Addr(k)
+			list := *s.llcStamps.Ptr(k)
+			s.llcStamps.Delete(k)
+			s.persistAddrList(-1, line, &list, now, now, false)
 			s.llc.MarkClean(line)
-			delete(s.llcStamps, line)
 		}
 		for _, line := range s.llc.DirtyLines() {
 			s.persistAddr(-1, line, nil, now, now, false)

@@ -52,6 +52,8 @@ func (v *sysView) FlushAllDirty(tid int, now engine.Time, critical bool) engine.
 
 func (v *sysView) BlockLine(line isa.Addr, t engine.Time) { v.sys().blockLine(line, t) }
 
+func (v *sysView) DropLastStamp(l *cache.Line) { l.DropLastStamp(v.stamps) }
+
 func (v *sysView) FaultStall(tid int, now engine.Time) engine.Time {
 	return v.sys().faultStall(tid, now)
 }
@@ -114,10 +116,12 @@ func (s *System) scanDirty(tid int) []*cache.Line {
 		defer s.perf.End()
 	}
 	out := s.dirtyScratch[tid][:0]
-	s.l1s[tid].Scan(func(l *cache.Line) {
-		if l.NeedsPersist() {
-			out = append(out, l)
-		}
+	// ScanPending walks the pending bitmap — words of bits, not every
+	// valid line — in the same slot order a full Scan would visit, so
+	// persist schedules are unchanged while the engine's dominant cost
+	// scales with dirty lines rather than cache size.
+	s.l1s[tid].ScanPending(func(l *cache.Line) {
+		out = append(out, l)
 	})
 	s.dirtyScratch[tid] = out
 	return out
@@ -136,7 +140,7 @@ func (s *System) flushAllDirty(tid int, now engine.Time, critical bool) engine.T
 	now = s.faultStall(tid, now)
 	dirty := s.scanDirty(tid)
 	horizon := th.pending.MaxTime(now)
-	var released []*cache.Line
+	released := s.relScratch[tid][:0]
 	for _, l := range dirty {
 		if l.Released() {
 			released = append(released, l)
@@ -167,5 +171,6 @@ func (s *System) flushAllDirty(tid int, now engine.Time, critical bool) engine.T
 		th.pending.Add(t)
 		s.blockLine(addr, t)
 	}
+	s.relScratch[tid] = released[:0]
 	return t
 }

@@ -7,6 +7,7 @@ import (
 	"lrp/internal/model"
 	"lrp/internal/obs"
 	"lrp/internal/perf"
+	"lrp/internal/persist"
 )
 
 // read executes a load by thread tid and returns the value read.
@@ -109,10 +110,10 @@ func (s *System) performWrite(tid int, addr isa.Addr, val uint64, release, rmwAc
 		} else {
 			st = s.tracker.OnWrite(tid, addr)
 		}
-		l.Stamps = append(l.Stamps, st)
+		l.AppendStamp(s.stamps, st)
 		s.threads[tid].lastStamp = st
 	}
-	l.Pending = true
+	s.l1s[tid].MarkPending(l)
 	s.mem.Write(addr, val)
 	t = s.mech.OnStamped(tid, l, addr, val, st, release, t)
 	if rmwAcquire {
@@ -134,16 +135,16 @@ func (s *System) upgradeShared(tid int, line isa.Addr, t engine.Time) engine.Tim
 	t = s.llcSrv.Bank(uint64(bank)).Serve(t, s.cfg.LLCLat)
 	e := s.dir.Entry(line)
 	var far engine.Time
-	for _, sh := range e.SharerList() {
+	e.ForEachSharer(func(sh int) {
 		if sh == tid {
-			continue
+			return
 		}
 		s.l1s[sh].Invalidate(line) // Shared lines hold no dirty data
 		s.dir.RemoveSharer(line, sh)
 		if d := s.netLat(sh, bank); d > far {
 			far = d
 		}
-	}
+	})
 	t += 2 * far // invalidation round trip to the farthest sharer
 	s.dir.SetOwner(line, tid)
 	return t + s.netLat(tid, bank)
@@ -198,16 +199,16 @@ func (s *System) fetch(tid int, line isa.Addr, exclusive bool, t engine.Time) en
 		}
 	} else if exclusive && e.HasSharers() {
 		var far engine.Time
-		for _, sh := range e.SharerList() {
+		e.ForEachSharer(func(sh int) {
 			if sh == tid {
-				continue
+				return
 			}
 			s.l1s[sh].Invalidate(line)
 			s.dir.RemoveSharer(line, sh)
 			if d := s.netLat(sh, bank); d > far {
 				far = d
 			}
-		}
+		})
 		t += 2 * far
 	}
 
@@ -285,16 +286,16 @@ func (s *System) installWriteback(tid int, l *cache.Line, t engine.Time) {
 	if l.NeedsPersist() {
 		// Data left the L1 without persisting (NOP or ARP).
 		s.llc.MarkDirty(l.Addr)
-		if s.mech.LLCEvictPersists() {
+		if s.mech.LLCEvictPersists() && l.StampLen() > 0 {
 			// NOP: stamps follow the data; they persist when the LLC
-			// evicts the line to NVM.
-			if len(l.Stamps) > 0 {
-				s.llcStamps[l.Addr] = append(s.llcStamps[l.Addr], l.TakeStamps()...)
-			}
+			// evicts the line to NVM. The chain moves in O(1), no copy.
+			st := l.TakeStamps()
+			p, _ := s.llcStamps.Upsert(uint64(l.Addr))
+			s.stamps.Concat(p, &st)
 		}
 		// Under ARP the persist buffer owns durability; the writeback's
 		// stamps are dropped here and resolved by the buffer drain.
-		l.ClearPersistMeta()
+		l.ClearPersistMeta(s.stamps)
 	}
 	_ = tid
 }
@@ -306,11 +307,16 @@ func (s *System) llcFillClean(line isa.Addr, t engine.Time) {
 	if !had {
 		return
 	}
-	stamps := s.llcStamps[ev]
-	delete(s.llcStamps, ev)
+	var stamps persist.StampList
+	if p := s.llcStamps.Ptr(uint64(ev)); p != nil {
+		stamps = *p
+		s.llcStamps.Delete(uint64(ev))
+	}
 	if dirty && s.mech.LLCEvictPersists() {
 		// Dirty LLC data reaches NVM when evicted (off the critical
 		// path of any core).
-		s.persistAddr(-1, ev, stamps, t, t, false)
+		s.persistAddrList(-1, ev, &stamps, t, t, false)
+	} else {
+		s.stamps.Free(&stamps)
 	}
 }

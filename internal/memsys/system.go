@@ -6,6 +6,7 @@ import (
 	"lrp/internal/cache"
 	"lrp/internal/engine"
 	"lrp/internal/fault"
+	"lrp/internal/flat"
 	"lrp/internal/isa"
 	"lrp/internal/mech"
 	"lrp/internal/mm"
@@ -99,13 +100,22 @@ type System struct {
 
 	// lineBlocked implements the directory's transient blocking state
 	// (Invariant I4): requests to a line wait until its in-flight
-	// persist acks.
-	lineBlocked map[isa.Addr]engine.Time
+	// persist acks. A flat table rather than a map: blockLine and
+	// lineAvailable run on every miss and every persist.
+	lineBlocked flat.Table[engine.Time]
 
 	// llcStamps holds happens-before stamps for dirty data that moved to
 	// the LLC without persisting (NOP only); they persist when the LLC
-	// evicts the line to NVM.
-	llcStamps map[isa.Addr][]model.Stamp
+	// evicts the line to NVM. Values are arena-backed chains in stamps.
+	llcStamps flat.Table[persist.StampList]
+
+	// stamps is the machine's stamp arena: every happens-before stamp
+	// chain (L1 lines, llcStamps) lives here, so stamp append and persist
+	// retirement allocate nothing in steady state.
+	stamps *persist.StampArena
+
+	// drainKeys backs Drain's ordered walk of llcStamps.
+	drainKeys []uint64
 
 	threads []*thread
 	mech    mech.Mechanism
@@ -118,8 +128,10 @@ type System struct {
 	sched  sched
 
 	// dirtyScratch backs scanDirty's per-core result slices, so barrier
-	// and epoch flushes do not allocate afresh on every scan.
+	// and epoch flushes do not allocate afresh on every scan; relScratch
+	// backs flushAllDirty's released-lines partition the same way.
 	dirtyScratch [][]*cache.Line
+	relScratch   [][]*cache.Line
 
 	staticArena *mm.Arena
 
@@ -162,8 +174,7 @@ func New(cfg Config) (*System, error) {
 		llc:         cache.NewLLC(cfg.LLCSize, cfg.LLCWays, cfg.LLCBanks),
 		dir:         cache.NewDirectory(cfg.Cores),
 		llcSrv:      engine.NewServerBank(cfg.LLCBanks),
-		lineBlocked: make(map[isa.Addr]engine.Time),
-		llcStamps:   make(map[isa.Addr][]model.Stamp),
+		stamps:      persist.NewStampArena(),
 		staticArena: mm.StaticArena(),
 		obs:         cfg.Obs,
 		rec:         cfg.Rec,
@@ -188,6 +199,7 @@ func New(cfg Config) (*System, error) {
 	s.threads = make([]*thread, cfg.Cores)
 	s.clocks = make([]engine.Time, cfg.Cores)
 	s.dirtyScratch = make([][]*cache.Line, cfg.Cores)
+	s.relScratch = make([][]*cache.Line, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		s.l1s[i] = cache.NewL1(cfg.L1Size, cfg.L1Ways)
 		s.threads[i] = &thread{
@@ -241,6 +253,23 @@ func (s *System) Observer() *obs.Observer { return s.obs }
 
 // Perf returns the attached host-side phase profiler (nil when disabled).
 func (s *System) Perf() *perf.Profiler { return s.perf }
+
+// ArenaStats snapshots the stamp arena's host-side footprint.
+func (s *System) ArenaStats() persist.ArenaStats { return s.stamps.Stats() }
+
+// PublishArenaGauges exports the stamp arena's footprint into an obs
+// metrics registry as host-side gauges ("host/arena_nodes",
+// "host/arena_free_nodes", "host/arena_bytes"), alongside the phase
+// profiler's host-time gauges. Nil-safe on the registry.
+func (s *System) PublishArenaGauges(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	st := s.stamps.Stats()
+	reg.Gauge("host/arena_nodes").Set(int64(st.Nodes))
+	reg.Gauge("host/arena_free_nodes").Set(int64(st.FreeNodes))
+	reg.Gauge("host/arena_bytes").Set(int64(st.Bytes))
+}
 
 // Faults returns the fault-injection plane (nil on the idealized machine).
 func (s *System) Faults() *fault.Plane { return s.faults }
@@ -335,14 +364,14 @@ func (s *System) persistL1Line(tid int, l *cache.Line, now, earliest engine.Time
 		s.perf.End()
 	}
 	if s.tracker != nil {
-		for _, st := range l.Stamps {
+		l.ForEachStamp(s.stamps, func(st model.Stamp) {
 			s.tracker.SetPersisted(st, done)
-		}
+		})
 	}
 	if s.obs != nil {
 		s.obs.PersistIssued(tid, uint64(l.Addr), now, done, critical)
 	}
-	l.ClearPersistMeta()
+	l.ClearPersistMeta(s.stamps)
 	l.FlushedUntil = int64(done)
 	// Invariant I4 is structural: any line with a persist in flight is
 	// held at the directory until the ack, whatever path issued it. The
@@ -386,17 +415,47 @@ func (s *System) persistAddr(tid int, addr isa.Addr, stamps []model.Stamp, now, 
 	return done
 }
 
+// persistAddrList is persistAddr for an arena-backed stamp chain (LLC
+// evictions and drains under NOP): it marks each stamp persisted and
+// returns the chain to the arena.
+func (s *System) persistAddrList(tid int, addr isa.Addr, list *persist.StampList, now, earliest engine.Time, critical bool) engine.Time {
+	words := s.mem.ReadLine(addr)
+	if s.perf != nil {
+		s.perf.Start(perf.PhaseNVM)
+	}
+	done := s.nvm.PersistLine(now, earliest, addr, words)
+	if s.perf != nil {
+		s.perf.End()
+	}
+	if s.tracker != nil {
+		s.stamps.ForEach(*list, func(st model.Stamp) {
+			s.tracker.SetPersisted(st, done)
+		})
+	}
+	s.stamps.Free(list)
+	if s.obs != nil {
+		s.obs.PersistIssued(tid, uint64(addr), now, done, critical)
+	}
+	s.blockLine(addr, done)
+	s.stats.Persists++
+	if critical {
+		s.stats.CriticalPersists++
+	}
+	return done
+}
+
 // blockLine records that the directory must hold requests to line until
 // time t (Invariant I4 and §5.2.3's PutM transient state).
 func (s *System) blockLine(line isa.Addr, t engine.Time) {
-	if cur, ok := s.lineBlocked[line]; !ok || t > cur {
-		s.lineBlocked[line] = t
+	p, created := s.lineBlocked.Upsert(uint64(line))
+	if created || t > *p {
+		*p = t
 	}
 }
 
 func (s *System) lineAvailable(line isa.Addr, now engine.Time) engine.Time {
-	if t, ok := s.lineBlocked[line]; ok && t > now {
-		return t
+	if p := s.lineBlocked.Ptr(uint64(line)); p != nil && *p > now {
+		return *p
 	}
 	return now
 }

@@ -14,6 +14,7 @@ package mm
 import (
 	"fmt"
 
+	"lrp/internal/flat"
 	"lrp/internal/isa"
 )
 
@@ -26,21 +27,40 @@ type page [pageWords]uint64
 // Memory is a sparse word-addressable store. The zero value is an empty
 // memory in which every word reads as zero. Memory is not safe for
 // concurrent use; the simulator is single-threaded by construction.
+//
+// Pages are located through a flat open-addressing table (the last map
+// on the line-persist hot path); each page is its own allocation so the
+// table growing never copies page contents.
 type Memory struct {
-	pages map[uint64]*page
+	pages flat.Table[*page]
+
+	// lastPN/lastPage memoize the most recently touched page. Line
+	// persists and word accesses cluster heavily, so most probes skip
+	// the table lookup entirely.
+	lastPN   uint64
+	lastPage *page
 }
 
 // NewMemory returns an empty memory.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64]*page)}
+	return &Memory{}
 }
 
 func (m *Memory) pageFor(a isa.Addr, create bool) *page {
 	pn := uint64(a) >> pageShift
-	p := m.pages[pn]
-	if p == nil && create {
+	if m.lastPage != nil && m.lastPN == pn {
+		return m.lastPage
+	}
+	var p *page
+	if pp := m.pages.Ptr(pn); pp != nil {
+		p = *pp
+	} else if create {
 		p = new(page)
-		m.pages[pn] = p
+		pp, _ := m.pages.Upsert(pn)
+		*pp = p
+	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }
@@ -66,12 +86,15 @@ func (m *Memory) Write(a isa.Addr, v uint64) {
 	p[(uint64(a)>>3)&(pageWords-1)] = v
 }
 
-// ReadLine copies the cache line containing a into a word array.
+// ReadLine copies the cache line containing a into a word array. A line
+// never straddles a page (LineSize divides the page size), so the whole
+// copy costs one page probe.
 func (m *Memory) ReadLine(a isa.Addr) [isa.WordsPerLine]uint64 {
 	var out [isa.WordsPerLine]uint64
 	base := a.Line()
-	for i := 0; i < isa.WordsPerLine; i++ {
-		out[i] = m.Read(base + isa.Addr(i*isa.WordSize))
+	if p := m.pageFor(base, false); p != nil {
+		w := (uint64(base) >> 3) & (pageWords - 1)
+		copy(out[:], p[w:w+isa.WordsPerLine])
 	}
 	return out
 }
@@ -79,29 +102,32 @@ func (m *Memory) ReadLine(a isa.Addr) [isa.WordsPerLine]uint64 {
 // WriteLine stores a full cache line at the line containing a.
 func (m *Memory) WriteLine(a isa.Addr, words [isa.WordsPerLine]uint64) {
 	base := a.Line()
-	for i := 0; i < isa.WordsPerLine; i++ {
-		m.Write(base+isa.Addr(i*isa.WordSize), words[i])
-	}
+	p := m.pageFor(base, true)
+	w := (uint64(base) >> 3) & (pageWords - 1)
+	copy(p[w:w+isa.WordsPerLine], words[:])
 }
 
 // Pages reports how many pages have been materialized.
-func (m *Memory) Pages() int { return len(m.pages) }
+func (m *Memory) Pages() int { return m.pages.Len() }
 
 // Equal reports whether the two memories hold identical contents, with
 // never-written words reading as zero on both sides.
 func (m *Memory) Equal(o *Memory) bool {
 	var zero page
 	eq := func(a, b *Memory) bool {
-		for pn, p := range a.pages {
-			q := b.pages[pn]
-			if q == nil {
-				q = &zero
+		equal := true
+		a.pages.Range(func(pn uint64, p **page) bool {
+			q := &zero
+			if qp := b.pages.Ptr(pn); qp != nil {
+				q = *qp
 			}
-			if *p != *q {
+			if **p != *q {
+				equal = false
 				return false
 			}
-		}
-		return true
+			return true
+		})
+		return equal
 	}
 	return eq(m, o) && eq(o, m)
 }
@@ -110,9 +136,11 @@ func (m *Memory) Equal(o *Memory) bool {
 // freeze the NVM image at the crash instant.
 func (m *Memory) Clone() *Memory {
 	c := NewMemory()
-	for pn, p := range m.pages {
-		cp := *p
-		c.pages[pn] = &cp
-	}
+	m.pages.Range(func(pn uint64, p **page) bool {
+		cp := **p
+		pp, _ := c.pages.Upsert(pn)
+		*pp = &cp
+		return true
+	})
 	return c
 }

@@ -168,13 +168,13 @@ func (r *Registry) Snapshot() []MetricValue {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]MetricValue, 0, len(r.counts)+len(r.gauges)+len(r.hists))
-	for name, c := range r.counts {
+	for name, c := range r.counts { // maprange:ok — snapshot is sorted by name below
 		out = append(out, MetricValue{Name: name, Kind: KindCounter, Value: int64(c.Value())})
 	}
-	for name, g := range r.gauges {
+	for name, g := range r.gauges { // maprange:ok — snapshot is sorted by name below
 		out = append(out, MetricValue{Name: name, Kind: KindGauge, Value: g.Value()})
 	}
-	for name, h := range r.hists {
+	for name, h := range r.hists { // maprange:ok — snapshot is sorted by name below
 		s := h.Snapshot()
 		out = append(out, MetricValue{Name: name, Kind: KindHistogram, Value: int64(s.Count), Hist: &s})
 	}
@@ -188,7 +188,7 @@ func (r *Registry) SumCounters(prefix string) uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var sum uint64
-	for name, c := range r.counts {
+	for name, c := range r.counts { // maprange:ok — summation is order-independent
 		if strings.HasPrefix(name, prefix) {
 			sum += c.Value()
 		}
@@ -202,7 +202,7 @@ func (r *Registry) MergeHistograms(prefix string) HistSnapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var merged HistSnapshot
-	for name, h := range r.hists {
+	for name, h := range r.hists { // maprange:ok — histogram merge is commutative
 		if strings.HasPrefix(name, prefix) {
 			merged.Merge(h.Snapshot())
 		}

@@ -225,7 +225,7 @@ func Compare(old, new *BenchFile, opts CompareOpts) *CompareReport {
 			})
 		}
 	}
-	for k := range oldCells {
+	for k := range oldCells { // maprange:ok — Missing is sorted below
 		if !newKeys[k] {
 			rep.Missing = append(rep.Missing, k)
 		}

@@ -1,10 +1,22 @@
 package persist
 
 import (
-	"sort"
+	"slices"
 
 	"lrp/internal/isa"
 )
+
+// cmpAddr is a three-way address compare for the schedule sorts.
+func cmpAddr(a, b isa.Addr) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
 
 // LineRef describes one L1 line discovered by the persist engine's scan:
 // its address, the epoch of its earliest unpersisted write, and whether
@@ -13,6 +25,11 @@ type LineRef struct {
 	Addr     isa.Addr
 	MinEpoch uint32
 	Released bool
+	// Slot is an opaque caller-owned index (e.g. into a parallel slice
+	// of *cache.Line produced by the same scan). BuildSchedule carries
+	// it through untouched, letting callers map a scheduled ref back to
+	// its line without a per-run lookup table.
+	Slot int32
 }
 
 // Schedule is the persist engine's output for one triggered persist of a
@@ -39,6 +56,17 @@ type Schedule struct {
 // The returned schedule always ends with the trigger itself.
 func BuildSchedule(trigger LineRef, scanned []LineRef) Schedule {
 	var s Schedule
+	BuildScheduleInto(&s, trigger, scanned)
+	return s
+}
+
+// BuildScheduleInto is BuildSchedule with caller-owned storage: it
+// truncates and refills s.Writes/s.Releases in place, so a persist
+// engine that keeps one Schedule per core allocates nothing in steady
+// state.
+func BuildScheduleInto(s *Schedule, trigger LineRef, scanned []LineRef) {
+	s.Writes = s.Writes[:0]
+	s.Releases = s.Releases[:0]
 	for _, l := range scanned {
 		if l.Addr == trigger.Addr {
 			continue // the trigger is appended explicitly below
@@ -54,17 +82,18 @@ func BuildSchedule(trigger LineRef, scanned []LineRef) Schedule {
 	}
 	// Released lines persist in ascending epoch order; ties (impossible
 	// for distinct releases of one thread, but be deterministic anyway)
-	// break by address.
-	sort.Slice(s.Releases, func(i, j int) bool {
-		if s.Releases[i].MinEpoch != s.Releases[j].MinEpoch {
-			return s.Releases[i].MinEpoch < s.Releases[j].MinEpoch
+	// break by address. slices.SortFunc rather than sort.Slice: the
+	// latter's reflection-based swapper allocates on every call, and
+	// this runs once per persist-engine trigger.
+	slices.SortFunc(s.Releases, func(a, b LineRef) int {
+		if a.MinEpoch != b.MinEpoch {
+			return int(a.MinEpoch) - int(b.MinEpoch)
 		}
-		return s.Releases[i].Addr < s.Releases[j].Addr
+		return cmpAddr(a.Addr, b.Addr)
 	})
 	// Keep the write order deterministic for reproducible timing.
-	sort.Slice(s.Writes, func(i, j int) bool { return s.Writes[i].Addr < s.Writes[j].Addr })
+	slices.SortFunc(s.Writes, func(a, b LineRef) int { return cmpAddr(a.Addr, b.Addr) })
 	s.Releases = append(s.Releases, trigger)
-	return s
 }
 
 // Total reports how many line persists the schedule will issue.

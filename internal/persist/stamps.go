@@ -1,0 +1,167 @@
+package persist
+
+import "lrp/internal/model"
+
+// stampNodeCap is the stamp capacity of one arena node. Seven 16-byte
+// stamps plus the 8-byte header make a node 120 bytes — under two cache
+// lines, and large enough that the common short chains are one node.
+const stampNodeCap = 7
+
+// stampNode is one chunk of a stamp chain. Nodes live in the arena's
+// backing slice and link by index, so a chain holds no heap pointers.
+type stampNode struct {
+	next int32
+	n    int32
+	st   [stampNodeCap]model.Stamp
+}
+
+// StampList is a handle to a chain of stamps in a StampArena. The zero
+// value is an empty list (node index 0 is reserved), so embedding a
+// StampList in a struct needs no constructor. All operations go through
+// the owning arena; a list must only ever be used with the arena that
+// built it.
+type StampList struct {
+	head, tail int32
+	n          int32
+	nodes      int32
+}
+
+// Len returns the number of stamps in the list.
+func (l StampList) Len() int { return int(l.n) }
+
+// StampArena is a per-system chunked arena for happens-before stamp
+// storage. Appends carve space from pooled fixed-size nodes; freeing a
+// list at persist retirement returns its whole chain to the free list
+// in O(1). In steady state (working set stops growing) the arena
+// allocates nothing: stamp traffic cycles nodes through the free list.
+//
+// Happens-before tracking is the only producer of stamps, so a
+// timing-only run (TrackHB off) never touches the arena at all.
+type StampArena struct {
+	nodes []stampNode
+	free  int32 // head of the free-node list (0 = empty)
+	nfree int32
+}
+
+// NewStampArena returns an empty arena. Node index 0 is reserved so the
+// zero StampList reads as empty.
+func NewStampArena() *StampArena {
+	return &StampArena{nodes: make([]stampNode, 1)}
+}
+
+// alloc returns a zeroed node index, preferring the free list.
+func (a *StampArena) alloc() int32 {
+	if i := a.free; i != 0 {
+		a.free = a.nodes[i].next
+		a.nfree--
+		a.nodes[i] = stampNode{}
+		return i
+	}
+	a.nodes = append(a.nodes, stampNode{})
+	return int32(len(a.nodes) - 1)
+}
+
+// Append adds st to the end of the list.
+func (a *StampArena) Append(l *StampList, st model.Stamp) {
+	if l.tail == 0 || a.nodes[l.tail].n == stampNodeCap {
+		i := a.alloc()
+		if l.tail == 0 {
+			l.head = i
+		} else {
+			a.nodes[l.tail].next = i
+		}
+		l.tail = i
+		l.nodes++
+	}
+	nd := &a.nodes[l.tail]
+	nd.st[nd.n] = st
+	nd.n++
+	l.n++
+}
+
+// ForEach calls fn on every stamp in append order.
+func (a *StampArena) ForEach(l StampList, fn func(model.Stamp)) {
+	for i := l.head; i != 0; {
+		nd := &a.nodes[i]
+		for j := int32(0); j < nd.n; j++ {
+			fn(nd.st[j])
+		}
+		i = nd.next
+	}
+}
+
+// DropLast removes the most recently appended stamp (eADR pops the
+// stamp it just logged to its durable store). A list emptied this way
+// returns its nodes to the free list.
+func (a *StampArena) DropLast(l *StampList) {
+	if l.n == 0 {
+		return
+	}
+	l.n--
+	if l.n == 0 {
+		a.Free(l)
+		return
+	}
+	if nd := &a.nodes[l.tail]; nd.n > 0 {
+		nd.n--
+		return
+	}
+	// The tail (and possibly nodes before it) are empty spill nodes left
+	// by earlier drops; the last stamp lives in the last node that still
+	// holds any. Chains are a handful of nodes, so the walk is cheap and
+	// rare.
+	last := l.head
+	for i := l.head; i != 0; i = a.nodes[i].next {
+		if a.nodes[i].n > 0 {
+			last = i
+		}
+	}
+	a.nodes[last].n--
+}
+
+// Concat moves every stamp of src onto the end of dst in O(1) (LLC
+// write-back migrates a line's stamps under NOP). src becomes empty.
+func (a *StampArena) Concat(dst, src *StampList) {
+	if src.head == 0 {
+		return
+	}
+	if dst.head == 0 {
+		*dst = *src
+	} else {
+		a.nodes[dst.tail].next = src.head
+		dst.tail = src.tail
+		dst.n += src.n
+		dst.nodes += src.nodes
+	}
+	*src = StampList{}
+}
+
+// Free returns the list's whole chain to the free list and empties it.
+func (a *StampArena) Free(l *StampList) {
+	if l.head != 0 {
+		a.nodes[l.tail].next = a.free
+		a.free = l.head
+		a.nfree += l.nodes
+	}
+	*l = StampList{}
+}
+
+// ArenaStats is a host-side footprint snapshot for observability.
+type ArenaStats struct {
+	// Nodes is the total node count ever allocated (arena capacity).
+	Nodes int
+	// FreeNodes is how many of those sit on the free list.
+	FreeNodes int
+	// Bytes is the backing-array footprint.
+	Bytes int
+}
+
+// Stats snapshots the arena's footprint.
+func (a *StampArena) Stats() ArenaStats {
+	n := len(a.nodes) - 1 // index 0 is reserved, never handed out
+	if n < 0 {
+		n = 0
+	}
+	const nodeBytes = 8 + stampNodeCap*16 // header + stamps
+	return ArenaStats{Nodes: n, FreeNodes: int(a.nfree), Bytes: len(a.nodes) * nodeBytes}
+}

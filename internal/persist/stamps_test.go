@@ -1,0 +1,184 @@
+package persist
+
+import (
+	"math/rand"
+	"testing"
+
+	"lrp/internal/model"
+)
+
+func stampsOf(a *StampArena, l StampList) []model.Stamp {
+	var out []model.Stamp
+	a.ForEach(l, func(st model.Stamp) { out = append(out, st) })
+	return out
+}
+
+func TestStampListBasics(t *testing.T) {
+	a := NewStampArena()
+	var l StampList
+	if l.Len() != 0 {
+		t.Fatal("zero StampList must be empty")
+	}
+	const n = 20 // spans several nodes
+	for i := 1; i <= n; i++ {
+		a.Append(&l, model.Stamp{Tid: i, Seq: uint64(i)})
+	}
+	if l.Len() != n {
+		t.Fatalf("Len = %d, want %d", l.Len(), n)
+	}
+	got := stampsOf(a, l)
+	for i, st := range got {
+		if st.Tid != i+1 || st.Seq != uint64(i+1) {
+			t.Fatalf("stamp %d = %+v, out of order", i, st)
+		}
+	}
+	a.Free(&l)
+	if l.Len() != 0 || len(stampsOf(a, l)) != 0 {
+		t.Fatal("freed list must be empty")
+	}
+}
+
+func TestStampArenaReuse(t *testing.T) {
+	a := NewStampArena()
+	var l StampList
+	// Warm: allocate the nodes one append/free cycle needs.
+	for i := 0; i < 2*stampNodeCap; i++ {
+		a.Append(&l, model.Stamp{Tid: 1, Seq: uint64(i + 1)})
+	}
+	a.Free(&l)
+	nodes := a.Stats().Nodes
+	// Steady state: the same cycle must reuse freed nodes, not grow.
+	if allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 2*stampNodeCap; i++ {
+			a.Append(&l, model.Stamp{Tid: 1, Seq: uint64(i + 1)})
+		}
+		a.Free(&l)
+	}); allocs != 0 {
+		t.Fatalf("steady-state append/free allocated %.0f times per run", allocs)
+	}
+	if got := a.Stats().Nodes; got != nodes {
+		t.Fatalf("arena grew from %d to %d nodes in steady state", nodes, got)
+	}
+	if fr := a.Stats().FreeNodes; fr != nodes {
+		t.Fatalf("after Free all %d nodes should be free, got %d", nodes, fr)
+	}
+}
+
+func TestStampDropLast(t *testing.T) {
+	a := NewStampArena()
+	var l StampList
+	// eADR's pattern: append then immediately drop, repeatedly.
+	for i := 1; i <= 3*stampNodeCap; i++ {
+		a.Append(&l, model.Stamp{Tid: 9, Seq: uint64(i)})
+		a.DropLast(&l)
+		if l.Len() != 0 {
+			t.Fatalf("iter %d: Len = %d after append+drop", i, l.Len())
+		}
+	}
+	// Drop from a multi-node chain, including across the node boundary.
+	for i := 1; i <= stampNodeCap+1; i++ {
+		a.Append(&l, model.Stamp{Tid: 1, Seq: uint64(i)})
+	}
+	a.DropLast(&l) // drops seq 8 (sole stamp of node 2)
+	a.DropLast(&l) // drops seq 7 (last stamp of node 1, tail now empty spill)
+	want := stampNodeCap - 1
+	if l.Len() != want {
+		t.Fatalf("Len = %d, want %d", l.Len(), want)
+	}
+	got := stampsOf(a, l)
+	if len(got) != want || got[len(got)-1].Seq != uint64(want) {
+		t.Fatalf("stamps after drops = %v", got)
+	}
+	// DropLast on an empty list is a no-op.
+	var empty StampList
+	a.DropLast(&empty)
+}
+
+func TestStampConcat(t *testing.T) {
+	a := NewStampArena()
+	var dst, src StampList
+	for i := 1; i <= 3; i++ {
+		a.Append(&dst, model.Stamp{Tid: 1, Seq: uint64(i)})
+	}
+	for i := 4; i <= 4+stampNodeCap; i++ { // spans two nodes
+		a.Append(&src, model.Stamp{Tid: 2, Seq: uint64(i)})
+	}
+	total := 3 + stampNodeCap + 1
+	a.Concat(&dst, &src)
+	if src.Len() != 0 {
+		t.Fatal("Concat must empty src")
+	}
+	if dst.Len() != total {
+		t.Fatalf("Len = %d, want %d", dst.Len(), total)
+	}
+	got := stampsOf(a, dst)
+	for i, st := range got {
+		if st.Seq != uint64(i+1) {
+			t.Fatalf("stamp %d = %+v, want seq %d", i, st, i+1)
+		}
+	}
+	// Appending after a concat continues at the migrated tail.
+	a.Append(&dst, model.Stamp{Tid: 3, Seq: uint64(total + 1)})
+	got = stampsOf(a, dst)
+	if got[len(got)-1].Seq != uint64(total+1) {
+		t.Fatalf("append after concat: %v", got)
+	}
+	// Concat into an empty dst is a move.
+	var d2, s2 StampList
+	a.Append(&s2, model.Stamp{Tid: 4, Seq: 99})
+	a.Concat(&d2, &s2)
+	if d2.Len() != 1 || stampsOf(a, d2)[0].Seq != 99 {
+		t.Fatal("concat into empty dst lost stamps")
+	}
+}
+
+// TestStampArenaOracle drives random list traffic against slice
+// semantics.
+func TestStampArenaOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := NewStampArena()
+	const nlists = 8
+	lists := make([]StampList, nlists)
+	oracle := make([][]model.Stamp, nlists)
+	seq := uint64(0)
+	for op := 0; op < 30_000; op++ {
+		i := rng.Intn(nlists)
+		switch rng.Intn(10) {
+		case 0: // free
+			a.Free(&lists[i])
+			oracle[i] = nil
+		case 1: // drop last
+			a.DropLast(&lists[i])
+			if n := len(oracle[i]); n > 0 {
+				oracle[i] = oracle[i][:n-1]
+			}
+		case 2: // concat into another list
+			j := rng.Intn(nlists)
+			if j == i {
+				break
+			}
+			a.Concat(&lists[j], &lists[i])
+			oracle[j] = append(oracle[j], oracle[i]...)
+			oracle[i] = nil
+		default: // append
+			seq++
+			st := model.Stamp{Tid: i, Seq: seq}
+			a.Append(&lists[i], st)
+			oracle[i] = append(oracle[i], st)
+		}
+		if lists[i].Len() != len(oracle[i]) {
+			t.Fatalf("op %d: list %d Len = %d, oracle %d", op, i, lists[i].Len(), len(oracle[i]))
+		}
+	}
+	for i := range lists {
+		got := stampsOf(a, lists[i])
+		if len(got) != len(oracle[i]) {
+			t.Fatalf("list %d: %d stamps, oracle %d", i, len(got), len(oracle[i]))
+		}
+		for j := range got {
+			if got[j] != oracle[i][j] {
+				t.Fatalf("list %d stamp %d: %+v, oracle %+v", i, j, got[j], oracle[i][j])
+			}
+		}
+	}
+}

@@ -127,7 +127,7 @@ func WalkHashMap(img *mm.Memory, buckets isa.Addr, nbuckets uint64, bucketOf fun
 		if err != nil {
 			return nil, err
 		}
-		for k, v := range sub.Members {
+		for k, v := range sub.Members { // maprange:ok — merge into a keyed map is order-independent
 			if bucketOf(k) != b {
 				return nil, Corruption{"hashmap", cell,
 					fmt.Sprintf("key %d found in bucket %d, hashes to %d", k, b, bucketOf(k))}

@@ -343,7 +343,7 @@ func parseHeader(p []byte) (Header, error) {
 		kv.Tenants = int(kf[0])
 		kv.KeysPerTenant = int(kf[1])
 		skew, ok := "", false
-		for name, code := range kvSkewCode {
+		for name, code := range kvSkewCode { // maprange:ok — codes are unique; at most one match
 			if code == kf[2] {
 				skew, ok = name, true
 			}

@@ -235,7 +235,7 @@ func runBenchCell(o BenchOpts, structure string, k Mechanism, threads int) (perf
 	}
 	if len(phaseNs) > 0 {
 		cell.PhaseNs = make(map[string]int64, len(phaseNs))
-		for name, samples := range phaseNs {
+		for name, samples := range phaseNs { // maprange:ok — PhaseNs map keys are sorted at JSON encode time
 			cell.PhaseNs[name] = int64(perf.Median(samples))
 		}
 	}
